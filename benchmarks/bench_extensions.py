@@ -1,0 +1,111 @@
+"""Benchmark: the paper's §6 future-work targets, made concrete.
+
+* GIFT-64 (the named Markov target): distinguisher accuracy sweep over
+  rounds;
+* Salsa and Trivium (the §2.1 non-Markov examples): accuracy at the
+  round reductions where the method bites, and the abort beyond them;
+* Gift16 against its exact all-in-one Bayes ceiling.
+"""
+
+from conftest import run_once
+
+from repro.core.distinguisher import MLDistinguisher
+from repro.core.extra_scenarios import (
+    Gift16Scenario,
+    Gift64Scenario,
+    SalsaScenario,
+    TriviumScenario,
+)
+from repro.diffcrypt.allinone import gift16_allinone
+from repro.errors import DistinguisherAborted
+from repro.experiments.report import format_table
+from repro.nn.architectures import build_mlp
+
+SAMPLES = 10_000
+
+
+def _accuracy(scenario, seed, epochs=4, samples=SAMPLES):
+    model = build_mlp([64, 128], "relu", num_classes=scenario.num_classes)
+    distinguisher = MLDistinguisher(scenario, model=model, epochs=epochs, rng=seed)
+    try:
+        return distinguisher.train(num_samples=samples).validation_accuracy
+    except DistinguisherAborted:
+        return None
+
+
+def test_gift64_round_sweep(benchmark):
+    def run():
+        return [
+            (rounds, _accuracy(Gift64Scenario(rounds=rounds), seed=9))
+            for rounds in (2, 3, 4, 5)
+        ]
+
+    results = run_once(benchmark, run)
+    print()
+    print(format_table(
+        ["rounds", "accuracy"],
+        [[r, "ABORT" if a is None else a] for r, a in results],
+        title="GIFT-64 distinguisher (paper §6 future work)",
+    ))
+    by_round = dict(results)
+    assert by_round[2] is not None and by_round[2] > 0.95
+    assert by_round[3] is not None and by_round[3] > 0.8
+    # Decay with rounds (later rounds may abort at this sample budget).
+    if by_round[4] is not None:
+        assert by_round[4] <= by_round[3] + 0.02
+
+
+def test_nonmarkov_targets(benchmark):
+    def run():
+        salsa = _accuracy(SalsaScenario(rounds=1), seed=4)
+        salsa_deep = _accuracy(SalsaScenario(rounds=2), seed=4)
+        trivium_rows = [
+            (warmup, _accuracy(TriviumScenario(warmup=warmup), seed=3))
+            for warmup in (240, 384, 480)
+        ]
+        return salsa, salsa_deep, trivium_rows
+
+    salsa, salsa_deep, trivium_rows = run_once(benchmark, run)
+    print()
+    rows = [["salsa 1 double-round", salsa],
+            ["salsa 2 double-rounds", "ABORT" if salsa_deep is None else salsa_deep]]
+    rows += [
+        [f"trivium warmup {w}", "ABORT" if a is None else a]
+        for w, a in trivium_rows
+    ]
+    print(format_table(["target", "accuracy"], rows,
+                       title="non-Markov extension targets (§2.1 examples)"))
+    assert salsa is not None and salsa > 0.95
+    by_warmup = dict(trivium_rows)
+    assert by_warmup[240] is not None and by_warmup[240] > 0.95
+    # Signal decays with warm-up clocks.
+    if by_warmup[384] is not None:
+        assert by_warmup[384] < by_warmup[240] + 1e-9
+
+
+def test_gift16_vs_exact_ceiling(benchmark):
+    deltas = (0x0001, 0x0010)
+
+    def run():
+        rows = []
+        for rounds in (2, 3, 4):
+            ceiling = gift16_allinone(list(deltas), rounds).bayes_accuracy()
+            measured = _accuracy(
+                Gift16Scenario(rounds=rounds, deltas=deltas),
+                seed=6,
+                epochs=6,
+                samples=20_000,
+            )
+            rows.append((rounds, ceiling, measured))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(
+        ["rounds", "Bayes ceiling (exact)", "ML accuracy"],
+        [[r, c, "ABORT" if m is None else m] for r, c, m in rows],
+        title="Gift16: ML vs exact all-in-one",
+    ))
+    for _rounds, ceiling, measured in rows:
+        if measured is not None:
+            assert measured <= ceiling + 0.05

@@ -1,0 +1,53 @@
+"""Engineering benchmarks: throughput of the numpy NN substrate.
+
+Not a paper artefact — these time the building blocks that dominate the
+table reproductions (Dense forward/backward at the paper's layer sizes,
+one LSTM step stack, one Conv1D stack) so regressions in the substrate
+are visible independently of the experiments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, CategoricalCrossentropy
+from repro.nn.architectures import cnn_i, lstm_i, mlp_iii
+from repro.nn.losses import one_hot
+
+BATCH = 256
+INPUT_BITS = 128
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(1)
+    x = (rng.random((BATCH, INPUT_BITS)) > 0.5).astype(np.float64)
+    y = one_hot(rng.integers(0, 2, BATCH), 2)
+    return x, y
+
+
+def _train_step(model, x, y, loss, optimizer):
+    pred = model.forward(x, training=True)
+    _, grad = loss(y, pred)
+    model.backward(grad)
+    params, grads = model._gather()
+    optimizer.update(params, grads)
+
+
+@pytest.mark.parametrize(
+    "factory", [mlp_iii, lstm_i, cnn_i], ids=["MLP III", "LSTM I", "CNN I"]
+)
+def test_train_step_throughput(benchmark, factory, batch):
+    x, y = batch
+    model = factory()
+    model.build((INPUT_BITS,), rng=0)
+    loss = CategoricalCrossentropy()
+    optimizer = Adam()
+    benchmark(_train_step, model, x, y, loss, optimizer)
+
+
+def test_inference_throughput(benchmark, batch):
+    x, _ = batch
+    model = mlp_iii()
+    model.build((INPUT_BITS,), rng=0)
+    result = benchmark(model.predict, x)
+    assert result.shape == (BATCH, 2)

@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at
+``REPRO_SCALE`` of the paper's data budget (default 0.05) and prints the
+paper-vs-measured rows.  Benchmarks run exactly once per session
+(``pedantic`` with one round) — the quantity of interest is the
+experiment's *output*, the timing is a bonus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator for benchmark workloads."""
+    return np.random.default_rng(0xBE9C4)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+"""Exact all-in-one differentials vs the neural distinguisher.
+
+The paper's thesis is that a neural network *simulates* the
+Albrecht-Leander all-in-one differential when the exact distribution is
+out of reach.  On the 16-bit ToySpeck the exact distribution *is* in
+reach, so this example computes the Bayes-optimal classification
+accuracy (the information-theoretic ceiling) and shows the trained MLP
+approaching it round by round.
+
+Usage::
+
+    python examples/allinone_vs_ml.py [--rounds 2 3 4] [--samples 30000]
+"""
+
+import argparse
+import time
+
+from repro.experiments.report import format_table
+from repro.experiments.speck_baseline import run_toyspeck_allinone
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, nargs="+", default=[2, 3, 4])
+    parser.add_argument("--samples", type=int, default=30_000)
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    start = time.perf_counter()
+    result = run_toyspeck_allinone(
+        rounds=tuple(args.rounds),
+        num_samples=args.samples,
+        epochs=args.epochs,
+        rng=args.seed,
+    )
+    rows = [
+        [row["rounds"], f"{row['bayes_accuracy']:.4f}",
+         f"{row['measured']:.4f}",
+         f"{row['measured'] / row['bayes_accuracy']:.1%}"]
+        for row in result["rows"]
+    ]
+    print(format_table(
+        ["rounds", "Bayes ceiling (exact)", "ML accuracy", "fraction of ceiling"],
+        rows,
+        title=(f"ToySpeck all-in-one vs ML, differences "
+               f"{[hex(d) for d in result['deltas']]}"),
+    ))
+    print(f"\n({time.perf_counter() - start:.1f}s; the ML model approaches "
+          f"but never exceeds the exact all-in-one classifier — the "
+          f"relationship the paper exploits where the exact computation "
+          f"is infeasible)")
+
+
+if __name__ == "__main__":
+    main()

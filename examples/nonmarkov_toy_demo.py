@@ -1,0 +1,57 @@
+"""Walk through the paper's Figure 1 / §2.1 non-Markov demonstration.
+
+Re-derives, from scratch, every number the paper quotes about the
+2-round two-S-box toy cipher: the DDT entries of the GIFT S-box, the
+valid input tuples, the exact characteristic probability (2^-6 by
+exhaustive enumeration) versus the Markov-assumption product (2^-9,
+Eq. 2 of the paper), and a quantitative measurement of how badly the
+unkeyed round violates Lai-Massey-Murphy's Definition 2.
+
+Usage::
+
+    python examples/nonmarkov_toy_demo.py
+"""
+
+from repro.ciphers.gift import GIFT_SBOX
+from repro.ciphers.toygift import PAPER_TRAIL, ToyGift, default_wiring
+from repro.diffcrypt.markov import markov_violation_toygift
+from repro.diffcrypt.sbox import SBox
+
+
+def main() -> None:
+    sbox = SBox(GIFT_SBOX)
+    print("GIFT S-box:", "".join(f"{v:X}" for v in GIFT_SBOX))
+    print("differential uniformity:", sbox.differential_uniformity)
+    print("branch number          :", sbox.differential_branch_number)
+
+    dy1 = PAPER_TRAIL["delta_y1"]
+    dw1 = PAPER_TRAIL["delta_w1"]
+    print(f"\ncharacteristic: ΔY1={dy1} -> ΔW1={dw1} -> "
+          f"ΔY2={PAPER_TRAIL['delta_y2']} -> ΔW2={PAPER_TRAIL['delta_w2']}")
+
+    print(f"\nDDT[{dy1[0]}][{dw1[0]}] = {sbox.ddt[dy1[0], dw1[0]]} "
+          f"(upper S-box), valid inputs: "
+          f"{[x for x, _ in sbox.valid_input_pairs(dy1[0], dw1[0])]}")
+    print(f"DDT[{dy1[1]}][{dw1[1]}] = {sbox.ddt[dy1[1], dw1[1]]} "
+          f"(lower S-box), valid inputs: "
+          f"{[hex(x) for x, _ in sbox.valid_input_pairs(dy1[1], dw1[1])]}")
+
+    toy = ToyGift()
+    exact = toy.characteristic_probability_exact()
+    markov = toy.characteristic_probability_markov()
+    print(f"\nwiring found for Figure 1: {default_wiring()}")
+    print(f"exact probability (enumeration) : {exact} = 2^-6")
+    print(f"Markov product (paper Eq. 2)    : {markov} = 2^-9")
+    print(f"ratio                           : {exact / markov:.0f}x")
+
+    violation = markov_violation_toygift()
+    print(f"\nDefinition 2 violation (max TV over conditioning inputs): "
+          f"{violation:.4f}")
+    print("-> an unkeyed round is maximally value-dependent; Eq. 2's "
+          "round-by-round product is unjustified, which is exactly why "
+          "the paper simulates all-in-one differentials with a neural "
+          "network instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists only
+so ``python setup.py develop`` works on offline machines whose pip
+cannot build editable wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

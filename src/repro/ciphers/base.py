@@ -1,0 +1,124 @@
+"""Common interfaces for permutations and block ciphers.
+
+The distinguisher framework in :mod:`repro.core` only needs two things
+from a primitive: a way to apply it to a *batch* of states, and metadata
+about its shape (word width, state size).  These base classes pin down
+that contract so scenarios can be written once and instantiated for any
+registered primitive.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Type
+
+import numpy as np
+
+from repro.errors import CipherError, ShapeError
+
+
+class Permutation(abc.ABC):
+    """An unkeyed permutation over a fixed-size word-vector state.
+
+    Subclasses define ``state_words`` / ``word_width`` and implement the
+    batched :meth:`__call__`.  ``rounds`` selects a round-reduced
+    variant; the interpretation of the round window (e.g. Gimli counts
+    rounds downward from 24) is documented per subclass.
+    """
+
+    #: number of words in the state
+    state_words: int
+    #: bits per word
+    word_width: int
+
+    def __init__(self, rounds: int):
+        if rounds < 0:
+            raise CipherError(f"round count must be non-negative, got {rounds}")
+        self.rounds = rounds
+
+    @property
+    def state_bits(self) -> int:
+        """Total state size in bits."""
+        return self.state_words * self.word_width
+
+    @abc.abstractmethod
+    def __call__(self, states: np.ndarray) -> np.ndarray:
+        """Apply the permutation to a batch of states.
+
+        ``states`` has shape ``(n, state_words)`` (or ``(state_words,)``
+        for a single state) with the word dtype; a new array of the same
+        shape is returned, inputs are never mutated.
+        """
+
+    def _check_batch(self, states: np.ndarray) -> np.ndarray:
+        """Normalise input to a 2-D batch; raise on malformed shapes."""
+        arr = np.asarray(states)
+        if arr.ndim == 1:
+            arr = arr[np.newaxis, :]
+        if arr.ndim != 2 or arr.shape[1] != self.state_words:
+            raise ShapeError(
+                f"{type(self).__name__} expects states of shape "
+                f"(n, {self.state_words}), got {np.asarray(states).shape}"
+            )
+        return arr
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(rounds={self.rounds})"
+
+
+class BlockCipher(abc.ABC):
+    """A keyed block cipher acting on batches of (plaintext, key) pairs."""
+
+    #: number of words in a block
+    block_words: int
+    #: number of words in a key
+    key_words: int
+    #: bits per word
+    word_width: int
+
+    def __init__(self, rounds: int):
+        if rounds <= 0:
+            raise CipherError(f"round count must be positive, got {rounds}")
+        self.rounds = rounds
+
+    @property
+    def block_bits(self) -> int:
+        """Block size in bits."""
+        return self.block_words * self.word_width
+
+    @abc.abstractmethod
+    def encrypt(self, plaintexts: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Encrypt a batch: shapes ``(n, block_words)`` and ``(n, key_words)``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(rounds={self.rounds})"
+
+
+_REGISTRY: Dict[str, Callable[..., object]] = {}
+
+
+def register_cipher(name: str, factory: Callable[..., object]) -> None:
+    """Register a primitive factory under a lookup name.
+
+    Used by the experiment configuration layer so table/figure configs
+    can reference ciphers by string.
+    """
+    key = name.lower()
+    if key in _REGISTRY:
+        raise CipherError(f"cipher {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def get_cipher(name: str, **kwargs) -> object:
+    """Instantiate a registered primitive by name."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise CipherError(f"unknown cipher {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def registered_ciphers() -> tuple:
+    """Names of all registered primitives, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,383 @@
+"""GIFT-64 (Banik et al., CHES 2017) and a 16-bit scaled SPN.
+
+GIFT-64 is the paper's running example for the non-Markov discussion
+(§2.1, Figure 1 uses its S-box) and its named "future work" target.  It
+is a 28-round SPN: 4-bit S-box ``GS = 1A4C6F392DB7508E``, the bit
+permutation
+
+    ``P64(i) = 4*(i // 16) + 16*((3*((i % 16) // 4) + (i % 4)) % 4) + (i % 4)``
+
+and a partial 32-bit round key XORed into bit positions ``4i`` / ``4i+1``
+plus round constants from a 6-bit LFSR.
+
+``Gift16`` is a 4-S-box scaled-down SPN (our construction, documented
+substitution) whose full 16-bit difference distribution is exactly
+computable — the Markov counterpart of :class:`~repro.ciphers.toyspeck.ToySpeck`
+for the all-in-one baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ciphers.base import BlockCipher
+from repro.errors import CipherError, ShapeError
+
+#: The GIFT S-box as quoted in the paper (§2.1): 1A4C6F392DB7508E.
+GIFT_SBOX = (0x1, 0xA, 0x4, 0xC, 0x6, 0xF, 0x3, 0x9,
+             0x2, 0xD, 0xB, 0x7, 0x5, 0x0, 0x8, 0xE)
+
+GIFT64_ROUNDS = 28
+GIFT64_BLOCK_BITS = 64
+GIFT64_KEY_BITS = 128
+
+
+def _inverse_table(table: Sequence[int]) -> Tuple[int, ...]:
+    inv = [0] * len(table)
+    for i, v in enumerate(table):
+        inv[v] = i
+    return tuple(inv)
+
+
+GIFT_SBOX_INV = _inverse_table(GIFT_SBOX)
+
+
+def gift64_bit_permutation() -> Tuple[int, ...]:
+    """The GIFT-64 bit permutation as a target-position table.
+
+    ``perm[i]`` is the position bit ``i`` moves *to*.
+    """
+    return tuple(
+        4 * (i // 16) + 16 * ((3 * ((i % 16) // 4) + (i % 4)) % 4) + (i % 4)
+        for i in range(64)
+    )
+
+
+GIFT64_PERM = gift64_bit_permutation()
+GIFT64_PERM_INV = _inverse_table(GIFT64_PERM)
+
+
+def round_constants(rounds: int) -> List[int]:
+    """The 6-bit LFSR round-constant sequence (01, 03, 07, 0F, 1F, 3E, ...)."""
+    constants = []
+    c = 0
+    for _ in range(rounds):
+        c = ((c << 1) & 0x3F) | (1 ^ ((c >> 5) & 1) ^ ((c >> 4) & 1))
+        constants.append(c)
+    return constants
+
+
+class GiftSbox:
+    """The 4-bit GIFT S-box with lookup helpers (scalar and batched)."""
+
+    table = GIFT_SBOX
+    inverse_table = GIFT_SBOX_INV
+
+    _arr = np.array(GIFT_SBOX, dtype=np.uint8)
+    _inv_arr = np.array(GIFT_SBOX_INV, dtype=np.uint8)
+
+    @classmethod
+    def forward(cls, nibble):
+        """Apply the S-box to a scalar nibble or a uint8 array of nibbles."""
+        if isinstance(nibble, (int, np.integer)):
+            return cls.table[int(nibble) & 0xF]
+        return cls._arr[np.asarray(nibble, dtype=np.uint8) & np.uint8(0xF)]
+
+    @classmethod
+    def inverse(cls, nibble):
+        """Apply the inverse S-box."""
+        if isinstance(nibble, (int, np.integer)):
+            return cls.inverse_table[int(nibble) & 0xF]
+        return cls._inv_arr[np.asarray(nibble, dtype=np.uint8) & np.uint8(0xF)]
+
+
+def _sub_cells(state: int, inverse: bool = False) -> int:
+    table = GIFT_SBOX_INV if inverse else GIFT_SBOX
+    out = 0
+    for i in range(16):
+        out |= table[(state >> (4 * i)) & 0xF] << (4 * i)
+    return out
+
+
+def _perm_bits(state: int, perm: Sequence[int]) -> int:
+    out = 0
+    for i in range(64):
+        out |= ((state >> i) & 1) << perm[i]
+    return out
+
+
+def _round_key_and_update(key_words: List[int]) -> Tuple[int, List[int]]:
+    """Extract the GIFT-64 round key and rotate the key state.
+
+    Key state is eight 16-bit words ``k7 .. k0``; ``U = k1``, ``V = k0``;
+    ``U_i`` lands on bit ``4i + 1``, ``V_i`` on bit ``4i``.  The state
+    update is ``k7..k0 <- (k1 >>> 2) || (k0 >>> 12) || k7 || ... || k2``.
+    """
+    k = key_words
+    u, v = k[1], k[0]
+    rk = 0
+    for i in range(16):
+        rk |= ((u >> i) & 1) << (4 * i + 1)
+        rk |= ((v >> i) & 1) << (4 * i)
+    rot2 = ((k[1] >> 2) | (k[1] << 14)) & 0xFFFF
+    rot12 = ((k[0] >> 12) | (k[0] << 4)) & 0xFFFF
+    new_key = [k[2], k[3], k[4], k[5], k[6], k[7], rot12, rot2]
+    return rk, new_key
+
+
+def _constant_mask(constant: int) -> int:
+    mask = 1 << 63
+    for bit_index, position in enumerate((3, 7, 11, 15, 19, 23)):
+        mask_bit = (constant >> bit_index) & 1
+        mask |= mask_bit << position
+    return mask
+
+
+class Gift64:
+    """Scalar GIFT-64 with encryption and decryption.
+
+    The block is a 64-bit integer, the key a 128-bit integer interpreted
+    as words ``k7 || k6 || ... || k0`` (``k7`` most significant).
+    """
+
+    rounds_default = GIFT64_ROUNDS
+
+    def __init__(self, rounds: int = GIFT64_ROUNDS):
+        if not 1 <= rounds <= GIFT64_ROUNDS:
+            raise CipherError(
+                f"GIFT-64 rounds must be in [1, {GIFT64_ROUNDS}], got {rounds}"
+            )
+        self.rounds = rounds
+        self._constants = round_constants(rounds)
+
+    @staticmethod
+    def _key_words(key: int) -> List[int]:
+        if not 0 <= key < 1 << GIFT64_KEY_BITS:
+            raise CipherError("GIFT-64 key must be a 128-bit integer")
+        return [(key >> (16 * i)) & 0xFFFF for i in range(8)]
+
+    def round_keys(self, key: int) -> List[int]:
+        """Expand ``key`` into per-round 64-bit masks (round key + constants)."""
+        words = self._key_words(key)
+        masks = []
+        for r in range(self.rounds):
+            rk, words = _round_key_and_update(words)
+            masks.append(rk ^ _constant_mask(self._constants[r]))
+        return masks
+
+    def encrypt(self, plaintext: int, key: int) -> int:
+        """Encrypt one 64-bit block."""
+        if not 0 <= plaintext < 1 << GIFT64_BLOCK_BITS:
+            raise CipherError("GIFT-64 block must be a 64-bit integer")
+        state = plaintext
+        for mask in self.round_keys(key):
+            state = _sub_cells(state)
+            state = _perm_bits(state, GIFT64_PERM)
+            state ^= mask
+        return state
+
+    def decrypt(self, ciphertext: int, key: int) -> int:
+        """Decrypt one 64-bit block (inverse of :meth:`encrypt`)."""
+        state = ciphertext
+        for mask in reversed(self.round_keys(key)):
+            state ^= mask
+            state = _perm_bits(state, GIFT64_PERM_INV)
+            state = _sub_cells(state, inverse=True)
+        return state
+
+
+# --------------------------------------------------------------------------
+# Vectorised GIFT-64: table-driven batch encryption.
+# --------------------------------------------------------------------------
+
+_BATCH_TABLES = {}
+
+
+def _batch_tables():
+    """Lazily build the 16-bit-chunk lookup tables for batched GIFT-64.
+
+    * ``sbox16`` applies the S-box to the four nibbles of a chunk;
+    * ``perm[c]`` maps chunk ``c``'s 16 bits to their permuted 64-bit
+      positions;
+    * ``spread`` maps a 16-bit word to the 64-bit value with bit ``i``
+      at position ``4 * i`` (for the U/V round-key injection).
+    """
+    if _BATCH_TABLES:
+        return _BATCH_TABLES
+    values = np.arange(1 << 16, dtype=np.uint32)
+    sbox16 = np.zeros(1 << 16, dtype=np.uint16)
+    for j in range(4):
+        nib = (values >> np.uint32(4 * j)) & np.uint32(0xF)
+        sbox16 |= GiftSbox._arr[nib].astype(np.uint16) << np.uint16(4 * j)
+    perm_tables = []
+    for chunk in range(4):
+        table = np.zeros(1 << 16, dtype=np.uint64)
+        for bit in range(16):
+            src = 16 * chunk + bit
+            dst = GIFT64_PERM[src]
+            table |= (
+                ((values >> np.uint32(bit)) & np.uint32(1)).astype(np.uint64)
+                << np.uint64(dst)
+            )
+        perm_tables.append(table)
+    spread = np.zeros(1 << 16, dtype=np.uint64)
+    for bit in range(16):
+        spread |= (
+            ((values >> np.uint32(bit)) & np.uint32(1)).astype(np.uint64)
+            << np.uint64(4 * bit)
+        )
+    _BATCH_TABLES.update(
+        {"sbox16": sbox16, "perm": perm_tables, "spread": spread}
+    )
+    return _BATCH_TABLES
+
+
+def _rotr16_arr(arr: np.ndarray, amount: int) -> np.ndarray:
+    return ((arr >> np.uint16(amount)) | (arr << np.uint16(16 - amount))).astype(
+        np.uint16
+    )
+
+
+def expand_key_batch(keys: np.ndarray, rounds: int) -> np.ndarray:
+    """Vectorised GIFT-64 key schedule.
+
+    ``keys`` is ``(n, 8)`` uint16 (``k0`` first); returns the per-round
+    64-bit masks (round key XOR constants) as ``(n, rounds)`` uint64.
+    """
+    arr = np.asarray(keys, dtype=np.uint16)
+    if arr.ndim != 2 or arr.shape[1] != 8:
+        raise ShapeError(f"expected (n, 8) key words, got shape {arr.shape}")
+    tables = _batch_tables()
+    spread = tables["spread"]
+    constants = round_constants(rounds)
+    state = [arr[:, i].copy() for i in range(8)]
+    masks = np.empty((arr.shape[0], rounds), dtype=np.uint64)
+    for r in range(rounds):
+        u, v = state[1], state[0]
+        rk = (spread[u] << np.uint64(1)) | spread[v]
+        masks[:, r] = rk ^ np.uint64(_constant_mask(constants[r]))
+        rot2 = _rotr16_arr(state[1], 2)
+        rot12 = _rotr16_arr(state[0], 12)
+        state = [state[2], state[3], state[4], state[5],
+                 state[6], state[7], rot12, rot2]
+    return masks
+
+
+def encrypt_batch(
+    plaintexts: np.ndarray, keys: np.ndarray, rounds: int = GIFT64_ROUNDS
+) -> np.ndarray:
+    """Vectorised GIFT-64 encryption of ``(n,)`` uint64 blocks.
+
+    Bit-identical to :meth:`Gift64.encrypt` (cross-checked in the test
+    suite) at numpy-table speed — fast enough to feed the distinguisher
+    data pipeline.
+    """
+    pts = np.asarray(plaintexts, dtype=np.uint64)
+    if pts.ndim != 1:
+        raise ShapeError(f"expected (n,) uint64 blocks, got shape {pts.shape}")
+    masks = expand_key_batch(keys, rounds)
+    if masks.shape[0] != pts.shape[0]:
+        raise ShapeError("plaintext and key batch sizes differ")
+    tables = _batch_tables()
+    sbox16 = tables["sbox16"]
+    perm = tables["perm"]
+    chunk_mask = np.uint64(0xFFFF)
+    state = pts.copy()
+    for r in range(rounds):
+        out = np.zeros_like(state)
+        for chunk in range(4):
+            piece = (state >> np.uint64(16 * chunk)) & chunk_mask
+            substituted = sbox16[piece.astype(np.uint32)]
+            out |= perm[chunk][substituted]
+        state = out ^ masks[:, r]
+    return state
+
+
+# --------------------------------------------------------------------------
+# Gift16: a 16-bit scaled SPN for exact all-in-one computation.
+# --------------------------------------------------------------------------
+
+def gift16_bit_permutation() -> Tuple[int, ...]:
+    """A GIFT-style bit permutation on 16 bits (4 S-boxes).
+
+    Bit ``4j + b`` of the S-box layer output moves to position
+    ``4 * ((j + b) % 4) + b`` — each S-box spreads its four output bits
+    over all four S-boxes of the next round, the defining property of
+    the GIFT wiring.
+    """
+    perm = [0] * 16
+    for j in range(4):
+        for b in range(4):
+            perm[4 * j + b] = 4 * ((j + b) % 4) + b
+    return tuple(perm)
+
+
+GIFT16_PERM = gift16_bit_permutation()
+GIFT16_PERM_INV = _inverse_table(GIFT16_PERM)
+GIFT16_ROUNDS = 8
+
+
+def _perm16(state: int, perm: Sequence[int]) -> int:
+    out = 0
+    for i in range(16):
+        out |= ((state >> i) & 1) << perm[i]
+    return out
+
+
+def _perm16_table(perm: Sequence[int]) -> np.ndarray:
+    table = np.empty(1 << 16, dtype=np.uint16)
+    for value in range(1 << 16):
+        table[value] = _perm16(value, perm)
+    return table
+
+
+class Gift16(BlockCipher):
+    """Keyed 16-bit GIFT-like SPN: 4 GIFT S-boxes, GIFT-style wiring.
+
+    The full round key (16 bits) is XORed after the permutation, so the
+    cipher is Markov — the exact all-in-one distribution propagates by
+    applying the S-box-layer DDT and re-indexing through the wiring
+    (see :mod:`repro.diffcrypt.allinone`).
+    """
+
+    block_words = 1
+    key_words = GIFT16_ROUNDS  # independent round keys
+    word_width = 16
+
+    def __init__(self, rounds: int = GIFT16_ROUNDS):
+        if rounds > GIFT16_ROUNDS:
+            raise CipherError(f"Gift16 has {GIFT16_ROUNDS} rounds, requested {rounds}")
+        super().__init__(rounds)
+        self._perm_table = _perm16_table(GIFT16_PERM)
+        self._sbox_layer = self._build_sbox_layer_table()
+
+    @staticmethod
+    def _build_sbox_layer_table() -> np.ndarray:
+        nibbles = np.arange(1 << 16, dtype=np.uint32)
+        out = np.zeros(1 << 16, dtype=np.uint16)
+        for j in range(4):
+            nib = (nibbles >> np.uint32(4 * j)) & np.uint32(0xF)
+            out |= GiftSbox._arr[nib].astype(np.uint16) << np.uint16(4 * j)
+        return out
+
+    def encrypt(self, plaintexts: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Encrypt ``(n, 1)`` uint16 blocks with ``(n, rounds)`` round keys."""
+        pts = np.asarray(plaintexts, dtype=np.uint16)
+        if pts.ndim == 2 and pts.shape[1] == 1:
+            pts = pts[:, 0]
+        if pts.ndim != 1:
+            raise ShapeError(f"expected (n,) or (n, 1) blocks, got {pts.shape}")
+        rks = np.asarray(keys, dtype=np.uint16)
+        if rks.shape != (pts.shape[0], self.rounds):
+            raise ShapeError(
+                f"expected ({pts.shape[0]}, {self.rounds}) round keys, "
+                f"got {rks.shape}"
+            )
+        state = pts.copy()
+        for r in range(self.rounds):
+            state = self._sbox_layer[state]
+            state = self._perm_table[state]
+            state ^= rks[:, r]
+        return state[:, np.newaxis]

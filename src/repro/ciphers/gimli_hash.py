@@ -1,0 +1,164 @@
+"""Gimli-Hash: the sponge mode over the Gimli permutation (paper Fig. 2).
+
+Parameters follow the NIST LWC submission: 48-byte state, 16-byte rate,
+32-byte digest.  The final message block is padded by XORing ``0x01``
+into the state byte just past the message and ``0x01`` into the last
+state byte (domain separation) before the final absorb permutation.
+
+Besides the byte-oriented public API, this module exposes the batched
+single-block absorb used by the paper's Gimli-Hash distinguisher
+scenario (§4): message pairs differing in one byte of the final block,
+observed through the first 128-bit squeeze.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ciphers.gimli import GIMLI_ROUNDS, gimli_permute_batch
+from repro.errors import CipherError
+from repro.utils.encoding import words_to_bytes
+
+#: sponge rate in bytes (128 bits)
+RATE_BYTES = 16
+#: total state size in bytes
+STATE_BYTES = 48
+#: digest size in bytes (256 bits)
+DIGEST_BYTES = 32
+
+
+def _xor_bytes_into_state(state: np.ndarray, data: bytes, offset: int = 0) -> None:
+    """XOR ``data`` into the byte-addressed view of a 12-word state.
+
+    ``state`` is a 1-D uint32 array of 12 words, byte ``k`` of the state
+    being byte ``k % 4`` (little-endian) of word ``k // 4``.
+    """
+    for i, byte in enumerate(data):
+        pos = offset + i
+        word, shift = divmod(pos, 4)
+        state[word] ^= np.uint32(byte) << np.uint32(8 * shift)
+
+
+def _extract_state_bytes(state: np.ndarray, length: int) -> bytes:
+    return words_to_bytes(state)[:length]
+
+
+def gimli_hash(message: bytes, rounds: int = GIMLI_ROUNDS) -> bytes:
+    """Hash ``message`` to a 32-byte digest.
+
+    ``rounds`` reduces *every* permutation call (the knob used by the
+    round-reduced analyses); the default is the full 24-round Gimli.
+    """
+    state = np.zeros(12, dtype=np.uint32)
+    remaining = message
+    while len(remaining) >= RATE_BYTES:
+        _xor_bytes_into_state(state, remaining[:RATE_BYTES])
+        state = gimli_permute_batch(state, rounds)
+        remaining = remaining[RATE_BYTES:]
+    # Final (possibly empty) block with padding and domain separation.
+    _xor_bytes_into_state(state, remaining)
+    _xor_bytes_into_state(state, b"\x01", offset=len(remaining))
+    _xor_bytes_into_state(state, b"\x01", offset=STATE_BYTES - 1)
+    state = gimli_permute_batch(state, rounds)
+    digest = _extract_state_bytes(state, RATE_BYTES)
+    state = gimli_permute_batch(state, rounds)
+    digest += _extract_state_bytes(state, RATE_BYTES)
+    return digest
+
+
+def absorb_final_block_batch(
+    blocks: np.ndarray,
+    block_len: int,
+    rounds: int = GIMLI_ROUNDS,
+    initial_states: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched last-block absorb + first squeeze of Gimli-Hash.
+
+    This is the exact computation the paper's Gimli-Hash distinguisher
+    observes: starting from ``initial_states`` (all-zero by default —
+    the single-block case), XOR in the padded final message block, run
+    the (round-reduced) permutation once, and return the first 128 bits
+    of the hash, i.e. the rate row, as a ``(n, 4)`` uint32 array.
+
+    ``blocks`` is ``(n, 4)`` uint32 containing the message block already
+    packed into rate words (bytes beyond ``block_len`` must be zero —
+    the padding byte is added here).
+    """
+    arr = np.asarray(blocks, dtype=np.uint32)
+    if arr.ndim != 2 or arr.shape[1] != 4:
+        raise CipherError(f"expected (n, 4) rate blocks, got shape {arr.shape}")
+    if not 0 <= block_len < RATE_BYTES:
+        raise CipherError(
+            f"final block length must be in [0, {RATE_BYTES}), got {block_len}"
+        )
+    n = arr.shape[0]
+    if initial_states is None:
+        states = np.zeros((n, 12), dtype=np.uint32)
+    else:
+        states = np.array(initial_states, dtype=np.uint32, copy=True)
+        if states.shape != (n, 12):
+            raise CipherError(
+                f"initial states must have shape ({n}, 12), got {states.shape}"
+            )
+    states[:, 0:4] ^= arr
+    pad_word, pad_shift = divmod(block_len, 4)
+    states[:, pad_word] ^= np.uint32(1) << np.uint32(8 * pad_shift)
+    states[:, 11] ^= np.uint32(1) << np.uint32(24)  # byte 47
+    out = gimli_permute_batch(states, rounds)
+    return out[:, 0:4]
+
+
+def pack_message_blocks(messages: np.ndarray, block_len: int) -> np.ndarray:
+    """Pack ``(n, block_len)`` uint8 messages into zero-extended rate words."""
+    msgs = np.asarray(messages, dtype=np.uint8)
+    if msgs.ndim != 2 or msgs.shape[1] != block_len:
+        raise CipherError(
+            f"expected (n, {block_len}) message bytes, got shape {msgs.shape}"
+        )
+    padded = np.zeros((msgs.shape[0], RATE_BYTES), dtype=np.uint8)
+    padded[:, :block_len] = msgs
+    return np.frombuffer(padded.tobytes(), dtype="<u4").reshape(-1, 4).astype(np.uint32)
+
+
+class GimliHash:
+    """Incremental Gimli-Hash with a configurable round count.
+
+    Mirrors the usual ``update()`` / ``digest()`` hashlib shape so the
+    examples read naturally.
+    """
+
+    def __init__(self, rounds: int = GIMLI_ROUNDS):
+        if not 0 <= rounds <= GIMLI_ROUNDS:
+            raise CipherError(f"rounds must be in [0, {GIMLI_ROUNDS}], got {rounds}")
+        self.rounds = rounds
+        self._buffer = b""
+        self._state = np.zeros(12, dtype=np.uint32)
+        self._finalised = False
+
+    def update(self, data: bytes) -> "GimliHash":
+        """Absorb more message bytes; returns self for chaining."""
+        if self._finalised:
+            raise CipherError("cannot update a finalised GimliHash")
+        self._buffer += data
+        while len(self._buffer) >= RATE_BYTES:
+            _xor_bytes_into_state(self._state, self._buffer[:RATE_BYTES])
+            self._state = gimli_permute_batch(self._state, self.rounds)
+            self._buffer = self._buffer[RATE_BYTES:]
+        return self
+
+    def digest(self) -> bytes:
+        """Finalise and return the 32-byte digest (idempotent)."""
+        if not self._finalised:
+            _xor_bytes_into_state(self._state, self._buffer)
+            _xor_bytes_into_state(self._state, b"\x01", offset=len(self._buffer))
+            _xor_bytes_into_state(self._state, b"\x01", offset=STATE_BYTES - 1)
+            self._state = gimli_permute_batch(self._state, self.rounds)
+            first = _extract_state_bytes(self._state, RATE_BYTES)
+            second_state = gimli_permute_batch(self._state, self.rounds)
+            self._digest = first + _extract_state_bytes(second_state, RATE_BYTES)
+            self._finalised = True
+        return self._digest
+
+    def hexdigest(self) -> str:
+        """Hex-encoded digest."""
+        return self.digest().hex()

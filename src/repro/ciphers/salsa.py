@@ -1,0 +1,107 @@
+"""Salsa20 (Bernstein, 2007) — a non-Markov example cited by the paper.
+
+The paper (§2.1) names Salsa among the sub-key-free iterated primitives
+to which Markov-chain trail accounting does not apply; the distinguisher
+framework treats its (round-reduced) permutation like any other, so we
+provide it as an extension target.
+
+The 512-bit state is 16 32-bit words; a *double round* is a column
+round followed by a row round, and the Salsa20 core runs 10 double
+rounds with a final feed-forward addition.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.ciphers.base import Permutation
+from repro.errors import CipherError
+
+_MASK32 = 0xFFFFFFFF
+
+FULL_DOUBLE_ROUNDS = 10
+
+#: Word indices of the four quarter-rounds of a column round.
+COLUMN_QUARTERS = ((0, 4, 8, 12), (5, 9, 13, 1), (10, 14, 2, 6), (15, 3, 7, 11))
+#: Word indices of the four quarter-rounds of a row round.
+ROW_QUARTERS = ((0, 1, 2, 3), (5, 6, 7, 4), (10, 11, 8, 9), (15, 12, 13, 14))
+
+
+def _rotl32(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & _MASK32
+
+
+def quarterround(a: int, b: int, c: int, d: int) -> tuple:
+    """The Salsa20 quarter-round on four words (spec §3)."""
+    b ^= _rotl32((a + d) & _MASK32, 7)
+    c ^= _rotl32((b + a) & _MASK32, 9)
+    d ^= _rotl32((c + b) & _MASK32, 13)
+    a ^= _rotl32((d + c) & _MASK32, 18)
+    return a, b, c, d
+
+
+def doubleround(state: Sequence[int]) -> List[int]:
+    """One Salsa20 double round (column round then row round), scalar."""
+    s = [int(w) & _MASK32 for w in state]
+    if len(s) != 16:
+        raise CipherError(f"Salsa state must have 16 words, got {len(s)}")
+    for quarter in COLUMN_QUARTERS + ROW_QUARTERS:
+        i, j, k, l = quarter
+        s[i], s[j], s[k], s[l] = quarterround(s[i], s[j], s[k], s[l])
+    return s
+
+
+def salsa20_core(state: Sequence[int], double_rounds: int = FULL_DOUBLE_ROUNDS) -> List[int]:
+    """The Salsa20 core: ``double_rounds`` double rounds + feed-forward."""
+    start = [int(w) & _MASK32 for w in state]
+    s = list(start)
+    for _ in range(double_rounds):
+        s = doubleround(s)
+    return [(a + b) & _MASK32 for a, b in zip(s, start)]
+
+
+def _rotl_arr(arr: np.ndarray, amount: int) -> np.ndarray:
+    return ((arr << np.uint32(amount)) | (arr >> np.uint32(32 - amount))).astype(
+        np.uint32
+    )
+
+
+def doubleround_batch(states: np.ndarray, double_rounds: int = 1) -> np.ndarray:
+    """Vectorised double rounds over a ``(n, 16)`` uint32 batch."""
+    arr = np.array(states, dtype=np.uint32, copy=True)
+    squeeze = arr.ndim == 1
+    if squeeze:
+        arr = arr[np.newaxis, :]
+    if arr.ndim != 2 or arr.shape[1] != 16:
+        raise CipherError(f"Salsa batch must have shape (n, 16), got {arr.shape}")
+    for _ in range(double_rounds):
+        for quarter in COLUMN_QUARTERS + ROW_QUARTERS:
+            i, j, k, l = quarter
+            a, b, c, d = arr[:, i], arr[:, j], arr[:, k], arr[:, l]
+            b = b ^ _rotl_arr(a + d, 7)
+            c = c ^ _rotl_arr(b + a, 9)
+            d = d ^ _rotl_arr(c + b, 13)
+            a = a ^ _rotl_arr(d + c, 18)
+            arr[:, i], arr[:, j], arr[:, k], arr[:, l] = a, b, c, d
+    return arr[0] if squeeze else arr
+
+
+class SalsaPermutation(Permutation):
+    """Round-reduced Salsa20 double-round iteration as a :class:`Permutation`.
+
+    ``rounds`` counts *double rounds* (the full core uses 10).  The
+    feed-forward addition is intentionally omitted — the distinguisher
+    operates on the unkeyed permutation, as with Gimli.
+    """
+
+    state_words = 16
+    word_width = 32
+
+    def __init__(self, rounds: int = FULL_DOUBLE_ROUNDS):
+        super().__init__(rounds)
+
+    def __call__(self, states: np.ndarray) -> np.ndarray:
+        batch = self._check_batch(np.asarray(states, dtype=np.uint32))
+        return doubleround_batch(batch, self.rounds)

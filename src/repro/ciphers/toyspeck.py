@@ -1,0 +1,154 @@
+"""ToySpeck: a 16-bit-block ARX toy in the SPECK round shape.
+
+Gohr's CRYPTO'19 comparison between neural distinguishers and the exact
+all-in-one differential needs the *entire* difference distribution of
+the cipher, which for SPECK-32/64 takes tens of gigabytes of optimised C
+(see DESIGN.md).  ToySpeck scales the block down to 16 bits (two 8-bit
+words, rotations ``(3, 1)``, SPECK-style Feistel-ARX round and key
+schedule) so the exact all-in-one distribution is computable by direct
+enumeration in numpy, preserving the methodological comparison: exact
+all-in-one accuracy vs machine-learned accuracy on the same cipher.
+
+This is our own construction (documented substitution), not a member of
+the SPECK family.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ciphers.base import BlockCipher
+from repro.errors import CipherError, ShapeError
+
+WORD_BITS = 8
+_MASK = 0xFF
+ALPHA = 3
+BETA = 1
+FULL_ROUNDS = 16
+KEY_WORDS = 4
+BLOCK_BITS = 16
+
+
+def _rotl(value: int, amount: int) -> int:
+    amount %= WORD_BITS
+    return ((value << amount) | (value >> (WORD_BITS - amount))) & _MASK
+
+
+def _rotr(value: int, amount: int) -> int:
+    return _rotl(value, WORD_BITS - amount)
+
+
+def expand_key(key: Sequence[int], rounds: int) -> List[int]:
+    """SPECK-style key schedule on 8-bit words."""
+    if len(key) != KEY_WORDS:
+        raise CipherError(f"ToySpeck key must have {KEY_WORDS} words")
+    l_words = [int(key[2]) & _MASK, int(key[1]) & _MASK, int(key[0]) & _MASK]
+    k_words = [int(key[3]) & _MASK]
+    for i in range(rounds - 1):
+        l_words.append(((k_words[i] + _rotr(l_words[i], ALPHA)) & _MASK) ^ (i & _MASK))
+        k_words.append(_rotl(k_words[i], BETA) ^ l_words[i + KEY_WORDS - 1])
+    return k_words
+
+
+def encrypt_block(
+    plaintext: Tuple[int, int], key: Sequence[int], rounds: int = FULL_ROUNDS
+) -> Tuple[int, int]:
+    """Scalar reference encryption of one ``(x, y)`` byte pair."""
+    x, y = int(plaintext[0]) & _MASK, int(plaintext[1]) & _MASK
+    for k in expand_key(key, rounds):
+        x = ((_rotr(x, ALPHA) + y) & _MASK) ^ k
+        y = _rotl(y, BETA) ^ x
+    return x, y
+
+
+def _rotl_arr(arr: np.ndarray, amount: int) -> np.ndarray:
+    amount %= WORD_BITS
+    return ((arr << np.uint8(amount)) | (arr >> np.uint8(WORD_BITS - amount))).astype(
+        np.uint8
+    )
+
+
+def _rotr_arr(arr: np.ndarray, amount: int) -> np.ndarray:
+    return _rotl_arr(arr, WORD_BITS - amount)
+
+
+def expand_key_batch(keys: np.ndarray, rounds: int) -> np.ndarray:
+    """Vectorised key schedule: ``(n, 4)`` uint8 keys to ``(n, rounds)``."""
+    arr = np.asarray(keys, dtype=np.uint8)
+    if arr.ndim != 2 or arr.shape[1] != KEY_WORDS:
+        raise ShapeError(f"expected (n, {KEY_WORDS}) keys, got shape {arr.shape}")
+    l_words = [arr[:, 2].copy(), arr[:, 1].copy(), arr[:, 0].copy()]
+    round_keys = np.empty((arr.shape[0], rounds), dtype=np.uint8)
+    round_keys[:, 0] = arr[:, 3]
+    for i in range(rounds - 1):
+        new_l = (round_keys[:, i] + _rotr_arr(l_words[i], ALPHA)) ^ np.uint8(i & _MASK)
+        l_words.append(new_l.astype(np.uint8))
+        round_keys[:, i + 1] = _rotl_arr(round_keys[:, i], BETA) ^ l_words[-1]
+    return round_keys
+
+
+def encrypt_batch(
+    plaintexts: np.ndarray, keys: np.ndarray, rounds: int = FULL_ROUNDS
+) -> np.ndarray:
+    """Vectorised encryption of ``(n, 2)`` uint8 blocks with ``(n, 4)`` keys."""
+    pts = np.asarray(plaintexts, dtype=np.uint8)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ShapeError(f"expected (n, 2) plaintexts, got shape {pts.shape}")
+    round_keys = expand_key_batch(keys, rounds)
+    if round_keys.shape[0] != pts.shape[0]:
+        raise ShapeError("plaintext and key batch sizes differ")
+    x = pts[:, 0].copy()
+    y = pts[:, 1].copy()
+    for r in range(rounds):
+        x = (_rotr_arr(x, ALPHA) + y).astype(np.uint8) ^ round_keys[:, r]
+        y = _rotl_arr(y, BETA) ^ x
+    return np.stack([x, y], axis=1)
+
+
+def round_difference_kernel(delta: int) -> np.ndarray:
+    """Exact one-round output-difference distribution for input diff ``delta``.
+
+    Because the round key enters by XOR, the XOR-difference transition
+    of one round is key-independent; enumerating all ``2^16`` input
+    values gives the exact distribution.  Returns a length-``2^16``
+    probability vector indexed by ``(dx << 8) | dy``.
+
+    This kernel is the building block of the exact all-in-one baseline
+    in :mod:`repro.diffcrypt.allinone`.
+    """
+    if not 0 <= delta < 1 << BLOCK_BITS:
+        raise CipherError(f"difference must fit in {BLOCK_BITS} bits, got {delta}")
+    values = np.arange(1 << BLOCK_BITS, dtype=np.uint32)
+    x = (values >> np.uint32(8)).astype(np.uint8)
+    y = (values & np.uint32(0xFF)).astype(np.uint8)
+    dx = np.uint8((delta >> 8) & _MASK)
+    dy = np.uint8(delta & _MASK)
+
+    def half_round(xv: np.ndarray, yv: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        new_x = (_rotr_arr(xv, ALPHA) + yv).astype(np.uint8)
+        new_y = _rotl_arr(yv, BETA) ^ new_x
+        return new_x, new_y
+
+    x0, y0 = half_round(x, y)
+    x1, y1 = half_round(x ^ dx, y ^ dy)
+    out = ((x0 ^ x1).astype(np.uint32) << np.uint32(8)) | (y0 ^ y1).astype(np.uint32)
+    counts = np.bincount(out, minlength=1 << BLOCK_BITS)
+    return counts.astype(np.float64) / float(1 << BLOCK_BITS)
+
+
+class ToySpeck(BlockCipher):
+    """ToySpeck as a :class:`BlockCipher` (optionally round-reduced)."""
+
+    block_words = 2
+    key_words = KEY_WORDS
+    word_width = WORD_BITS
+
+    def __init__(self, rounds: int = FULL_ROUNDS):
+        if rounds > FULL_ROUNDS:
+            raise CipherError(f"ToySpeck has {FULL_ROUNDS} rounds, requested {rounds}")
+        super().__init__(rounds)
+
+    def encrypt(self, plaintexts: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        return encrypt_batch(plaintexts, keys, self.rounds)

@@ -1,0 +1,159 @@
+"""A classical per-bit-bias distinguisher — the non-ML baseline.
+
+A natural question about the paper's method is *what the network
+learns*.  The cheapest classical competitor uses only the first-order
+statistics the network could read off trivially: estimate, per class,
+the probability of each output-difference bit being 1, and classify new
+samples by naive-Bayes likelihood under independent bits.
+
+Comparing this baseline against the MLP answers two things at once:
+
+* how much of the ML accuracy is explained by marginal bit biases
+  (at low rounds: nearly all of it), and
+* where bit *correlations* start to matter (the residual gap at higher
+  rounds — the part that justifies a neural model over a lookup table).
+
+The baseline implements the same model surface as
+:class:`~repro.nn.model.Sequential`, so it drops into
+:class:`~repro.core.distinguisher.MLDistinguisher` unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.callbacks import History
+
+
+class BitBiasClassifier:
+    """Naive-Bayes classifier over independent output-difference bits.
+
+    Per class ``i`` and bit ``j`` it estimates ``p[i, j] = P(bit_j = 1 |
+    class i)`` with Laplace smoothing, and classifies by maximum
+    log-likelihood.  Training is a single counting pass — no epochs, no
+    gradients — which is exactly the point of the baseline.
+    """
+
+    def __init__(self, num_classes: int = 2, smoothing: float = 1.0):
+        if num_classes < 2:
+            raise TrainingError(f"need at least 2 classes, got {num_classes}")
+        if smoothing <= 0:
+            raise TrainingError(f"smoothing must be positive, got {smoothing}")
+        self.num_classes = int(num_classes)
+        self.smoothing = float(smoothing)
+        self.bit_probabilities: Optional[np.ndarray] = None  # (classes, bits)
+        self.log_priors: Optional[np.ndarray] = None
+        self.loss = object()  # compiled-model sentinel for MLDistinguisher
+        self.input_shape: Optional[Tuple[int, ...]] = None
+        self.layers = [self]
+
+    def build(self, input_shape, rng=None) -> "BitBiasClassifier":
+        """Record the feature width (counting needs no allocation)."""
+        del rng
+        self.input_shape = (int(input_shape[0]),)
+        return self
+
+    def compile(self, **_kwargs) -> "BitBiasClassifier":
+        """No-op for API compatibility."""
+        return self
+
+    def count_params(self) -> int:
+        """One Bernoulli parameter per (class, bit) plus priors."""
+        if self.bit_probabilities is None:
+            if self.input_shape is None:
+                raise TrainingError("build or fit the classifier first")
+            return self.num_classes * (self.input_shape[0] + 1)
+        return int(self.bit_probabilities.size + self.num_classes)
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 1,
+        batch_size: int = 0,
+        rng=None,
+        verbose: bool = False,
+        **_ignored,
+    ) -> History:
+        """Single counting pass (``epochs``/``batch_size`` ignored)."""
+        del epochs, batch_size, rng
+        x = np.asarray(x, dtype=np.float64)
+        labels = np.asarray(y)
+        if labels.ndim == 2:
+            labels = labels.argmax(axis=1)
+        labels = labels.astype(np.int64)
+        if x.shape[0] != labels.shape[0]:
+            raise TrainingError(
+                f"x has {x.shape[0]} samples but y has {labels.shape[0]}"
+            )
+        if self.input_shape is None:
+            self.build(x.shape[1:])
+        bits = x.shape[1]
+        probabilities = np.empty((self.num_classes, bits), dtype=np.float64)
+        priors = np.empty(self.num_classes, dtype=np.float64)
+        for cls in range(self.num_classes):
+            members = x[labels == cls]
+            count = members.shape[0]
+            if count == 0:
+                raise TrainingError(f"class {cls} has no training samples")
+            probabilities[cls] = (members.sum(axis=0) + self.smoothing) / (
+                count + 2 * self.smoothing
+            )
+            priors[cls] = count
+        self.bit_probabilities = probabilities
+        self.log_priors = np.log(priors / priors.sum())
+
+        history = History()
+        accuracy = float((self.predict_classes(x) == labels).mean())
+        history.append(0, {"loss": 0.0, "accuracy": accuracy})
+        if verbose:
+            print(f"bit-bias baseline: training accuracy {accuracy:.4f}")
+        return history
+
+    def _log_likelihoods(self, x: np.ndarray) -> np.ndarray:
+        if self.bit_probabilities is None:
+            raise TrainingError("fit the classifier before predicting")
+        p = self.bit_probabilities
+        log_p = np.log(p)
+        log_q = np.log1p(-p)
+        x = np.asarray(x, dtype=np.float64)
+        return x @ log_p.T + (1.0 - x) @ log_q.T + self.log_priors
+
+    def predict(self, x: np.ndarray, batch_size: int = 0) -> np.ndarray:
+        """Class posterior probabilities (softmax of log-likelihoods)."""
+        del batch_size
+        ll = self._log_likelihoods(x)
+        shifted = ll - ll.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict_classes(self, x: np.ndarray, batch_size: int = 0) -> np.ndarray:
+        """Maximum-likelihood class decisions."""
+        return self._log_likelihoods(x).argmax(axis=1)
+
+    def evaluate(
+        self, x: np.ndarray, y: np.ndarray, batch_size: int = 0
+    ) -> Tuple[float, Dict[str, float]]:
+        """Return ``(mean negative log-likelihood, {"accuracy": ...})``."""
+        labels = np.asarray(y)
+        if labels.ndim == 2:
+            labels = labels.argmax(axis=1)
+        labels = labels.astype(np.int64)
+        ll = self._log_likelihoods(x)
+        nll = float(-ll[np.arange(len(labels)), labels].mean())
+        accuracy = float((ll.argmax(axis=1) == labels).mean())
+        return nll, {"accuracy": accuracy}
+
+    def bias_profile(self, class_a: int = 0, class_b: int = 1) -> np.ndarray:
+        """Per-bit probability gap between two classes.
+
+        The interpretable readout: which output-difference bits carry
+        the signal (for Gimli scenarios, typically the neighbourhood of
+        the flipped input byte's diffusion pattern).
+        """
+        if self.bit_probabilities is None:
+            raise TrainingError("fit the classifier first")
+        return self.bit_probabilities[class_a] - self.bit_probabilities[class_b]

@@ -1,0 +1,216 @@
+"""Extension scenarios: the paper's future-work targets.
+
+§6 proposes experimenting with "other non-Markov ciphers and Markov
+ciphers like GIFT".  These scenarios wire the framework to the
+remaining primitives in :mod:`repro.ciphers`:
+
+* :class:`SalsaScenario` — the sub-key-free Salsa20 double-round
+  iteration (named in §2.1 as a non-Markov example);
+* :class:`TriviumScenario` — IV differences against round-reduced
+  (reduced warm-up) Trivium keystream (the other §2.1 example);
+* :class:`Gift16Scenario` — the scaled GIFT-like SPN, whose exact
+  all-in-one distribution (:func:`repro.diffcrypt.allinone.gift16_markov_distribution`)
+  provides the Bayes ceiling for the ML accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ciphers.gift import (
+    GIFT16_ROUNDS,
+    GIFT64_ROUNDS,
+    Gift16,
+    encrypt_batch as gift64_encrypt_batch,
+)
+from repro.ciphers.salsa import SalsaPermutation
+from repro.ciphers.trivium import IV_BITS, KEY_BITS, Trivium
+from repro.core.scenario import DifferentialScenario
+from repro.errors import DistinguisherError
+
+
+class SalsaScenario(DifferentialScenario):
+    """Chosen-difference game on the round-reduced Salsa double-round.
+
+    ``rounds`` counts double rounds; differences default to single bits
+    in words 6 and 7 (two of the nonce words in the Salsa20 stream
+    cipher's state layout).
+    """
+
+    input_words = 16
+    output_words = 16
+    word_width = 32
+
+    def __init__(self, rounds: int = 2, differences: Optional[np.ndarray] = None):
+        if differences is None:
+            differences = np.zeros((2, 16), dtype=np.uint32)
+            differences[0, 6] = 1
+            differences[1, 7] = 1
+        super().__init__(np.asarray(differences, dtype=np.uint32))
+        self.permutation = SalsaPermutation(rounds)
+        self.rounds = int(rounds)
+
+    def sample_base_inputs(self, n, rng):
+        return rng.integers(0, 1 << 32, size=(n, 16), dtype=np.uint64).astype(
+            np.uint32
+        )
+
+    def pipeline(self, inputs, context=None):
+        del context
+        return self.permutation(inputs)
+
+
+class TriviumScenario(DifferentialScenario):
+    """IV-difference game on reduced-warm-up Trivium.
+
+    Inputs are the 10 IV bytes; per-sample 80-bit keys are context;
+    the observable is ``output_bits`` keystream bits packed into bytes.
+    ``warmup`` is the round-reduction knob (full Trivium uses 1152).
+    """
+
+    input_words = 10  # IV bytes
+    word_width = 8
+
+    def __init__(
+        self,
+        warmup: int = 384,
+        diff_bits: Sequence[int] = (0, 40),
+        output_bits: int = 64,
+    ):
+        if output_bits <= 0 or output_bits % 8:
+            raise DistinguisherError(
+                f"output_bits must be a positive multiple of 8, got {output_bits}"
+            )
+        masks = np.zeros((len(diff_bits), 10), dtype=np.uint8)
+        for row, bit in enumerate(diff_bits):
+            if not 0 <= bit < IV_BITS:
+                raise DistinguisherError(
+                    f"IV difference bit {bit} outside [0, {IV_BITS})"
+                )
+            masks[row, bit // 8] = 1 << (bit % 8)
+        self.output_words = output_bits // 8
+        super().__init__(masks)
+        self.trivium = Trivium(warmup)
+        self.output_bits = int(output_bits)
+
+    def sample_base_inputs(self, n, rng):
+        return rng.integers(0, 256, size=(n, 10), dtype=np.uint8)
+
+    def sample_context(self, n, rng):
+        return rng.integers(0, 256, size=(n, 10), dtype=np.uint8)
+
+    def pipeline(self, inputs, context=None):
+        if context is None:
+            raise DistinguisherError("TriviumScenario needs per-sample keys")
+        iv_bits = np.unpackbits(
+            np.asarray(inputs, dtype=np.uint8), axis=1, bitorder="little"
+        )[:, :IV_BITS]
+        key_bits = np.unpackbits(
+            np.asarray(context, dtype=np.uint8), axis=1, bitorder="little"
+        )[:, :KEY_BITS]
+        stream = self.trivium.keystream_batch(key_bits, iv_bits, self.output_bits)
+        return np.packbits(stream, axis=1, bitorder="little")
+
+
+class Gift64Scenario(DifferentialScenario):
+    """Chosen-difference game on round-reduced GIFT-64.
+
+    The paper's conclusion names GIFT as the next (Markov) target for
+    the method.  Fresh 128-bit keys per sample (eight 16-bit words as
+    context); differences default to single bits in nibbles 0 and 8.
+    Blocks travel as pairs of 32-bit words for the feature encoding.
+    """
+
+    input_words = 2
+    output_words = 2
+    word_width = 32
+
+    def __init__(self, rounds: int = 4, deltas: Sequence[int] = (0x1, 0x1 << 32)):
+        if not 1 <= rounds <= GIFT64_ROUNDS:
+            raise DistinguisherError(
+                f"rounds must be in [1, {GIFT64_ROUNDS}], got {rounds}"
+            )
+        masks = np.zeros((len(deltas), 2), dtype=np.uint32)
+        for row, delta in enumerate(deltas):
+            if not 0 < delta < 1 << 64:
+                raise DistinguisherError(
+                    f"difference must be a non-zero 64-bit value, got {delta:#x}"
+                )
+            masks[row, 0] = delta & 0xFFFFFFFF
+            masks[row, 1] = delta >> 32
+        super().__init__(masks)
+        self.rounds = int(rounds)
+        self.deltas = tuple(int(d) for d in deltas)
+
+    def sample_base_inputs(self, n, rng):
+        blocks = rng.integers(0, 1 << 63, size=n, dtype=np.uint64)
+        blocks |= rng.integers(0, 2, size=n, dtype=np.uint64) << np.uint64(63)
+        return np.stack(
+            [
+                (blocks & np.uint64(0xFFFFFFFF)).astype(np.uint32),
+                (blocks >> np.uint64(32)).astype(np.uint32),
+            ],
+            axis=1,
+        )
+
+    def sample_context(self, n, rng):
+        return rng.integers(0, 1 << 16, size=(n, 8), dtype=np.uint16)
+
+    def pipeline(self, inputs, context=None):
+        if context is None:
+            raise DistinguisherError("Gift64Scenario needs per-sample keys")
+        arr = np.asarray(inputs, dtype=np.uint32)
+        blocks = arr[:, 0].astype(np.uint64) | (
+            arr[:, 1].astype(np.uint64) << np.uint64(32)
+        )
+        out = gift64_encrypt_batch(blocks, context, self.rounds)
+        return np.stack(
+            [
+                (out & np.uint64(0xFFFFFFFF)).astype(np.uint32),
+                (out >> np.uint64(32)).astype(np.uint32),
+            ],
+            axis=1,
+        )
+
+
+class Gift16Scenario(DifferentialScenario):
+    """Chosen-difference game on the scaled GIFT-like SPN.
+
+    A Markov cipher with an exactly computable all-in-one distribution —
+    the extension experiment the paper's conclusion suggests for GIFT,
+    at a scale where ML and exact baselines can be compared directly.
+    """
+
+    input_words = 1
+    output_words = 1
+    word_width = 16
+
+    def __init__(self, rounds: int = 4, deltas: Sequence[int] = (0x0001, 0x0010)):
+        if not 1 <= rounds <= GIFT16_ROUNDS:
+            raise DistinguisherError(
+                f"rounds must be in [1, {GIFT16_ROUNDS}], got {rounds}"
+            )
+        masks = np.zeros((len(deltas), 1), dtype=np.uint16)
+        for row, delta in enumerate(deltas):
+            if not 0 < delta < 1 << 16:
+                raise DistinguisherError(
+                    f"difference must be a non-zero 16-bit value, got {delta:#x}"
+                )
+            masks[row, 0] = delta
+        super().__init__(masks)
+        self.cipher = Gift16(rounds)
+        self.rounds = int(rounds)
+        self.deltas = tuple(int(d) for d in deltas)
+
+    def sample_base_inputs(self, n, rng):
+        return rng.integers(0, 1 << 16, size=(n, 1), dtype=np.uint16)
+
+    def sample_context(self, n, rng):
+        return rng.integers(0, 1 << 16, size=(n, self.rounds), dtype=np.uint16)
+
+    def pipeline(self, inputs, context=None):
+        if context is None:
+            raise DistinguisherError("Gift16Scenario needs per-sample round keys")
+        return self.cipher.encrypt(inputs, context)

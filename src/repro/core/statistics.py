@@ -1,0 +1,134 @@
+"""Statistical support for the distinguisher decision (paper §3.1).
+
+The paper computes the expected accuracy against a RANDOM oracle via the
+binomial expectation ``E = sum_i i * Pr(i)`` with
+``Pr(i) = C(t, i) (t-1)^(t-i) / t^t`` and notes ``E/t = 1/t``; the
+decision rule compares the online accuracy ``a'`` against the training
+accuracy ``a`` and this baseline.  The helpers here make those
+judgements quantitative: exact binomial p-values, a midpoint decision
+threshold, the distinguishing advantage, and the online sample count
+needed for a target error probability.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import stats
+
+from repro.errors import DistinguisherError
+
+
+def expected_random_accuracy(t: int) -> float:
+    """The paper's ``E/t`` formula, evaluated exactly.
+
+    ``Pr(i) = C(t, i) (t-1)^(t-i) / t^t`` is the probability that a
+    uniform guesser gets exactly ``i`` of ``t`` classes right;
+    ``E = Σ i Pr(i) = 1`` so ``E/t = 1/t``.  The explicit sum is kept
+    (rather than returning ``1/t`` directly) because reproducing the
+    formula is part of reproducing §3.1; the test suite checks it
+    collapses to ``1/t``.
+    """
+    if t < 2:
+        raise DistinguisherError(f"the game needs t >= 2 classes, got {t}")
+    total = 0.0
+    for i in range(t + 1):
+        prob = math.comb(t, i) * (t - 1) ** (t - i) / t**t
+        total += i * prob
+    return total / t
+
+
+def advantage(accuracy: float, t: int) -> float:
+    """Distinguishing advantage of an accuracy over the ``1/t`` baseline."""
+    if not 0.0 <= accuracy <= 1.0:
+        raise DistinguisherError(f"accuracy must be in [0, 1], got {accuracy}")
+    return accuracy - 1.0 / t
+
+
+def binomial_pvalue(correct: int, total: int, null_probability: float) -> float:
+    """One-sided exact p-value for ``correct`` successes under ``H0: p = p0``.
+
+    Small values reject the hypothesis that the oracle behaves randomly.
+    """
+    if total <= 0:
+        raise DistinguisherError(f"total must be positive, got {total}")
+    if not 0 <= correct <= total:
+        raise DistinguisherError(
+            f"correct must lie in [0, {total}], got {correct}"
+        )
+    if not 0.0 < null_probability < 1.0:
+        raise DistinguisherError(
+            f"null probability must be in (0, 1), got {null_probability}"
+        )
+    # P(X >= correct) under Binomial(total, p0).
+    return float(stats.binom.sf(correct - 1, total, null_probability))
+
+
+def decision_threshold(training_accuracy: float, t: int) -> float:
+    """Midpoint between the trained accuracy ``a`` and the random ``1/t``.
+
+    Algorithm 2 concludes CIPHER when ``a' ≈ a`` and RANDOM when
+    ``a' ≈ 1/t``; the midpoint is the equal-margin boundary between the
+    two hypotheses.
+    """
+    baseline = 1.0 / t
+    if training_accuracy <= baseline:
+        raise DistinguisherError(
+            f"training accuracy {training_accuracy:.4f} does not exceed the "
+            f"random baseline {baseline:.4f}; Algorithm 2 aborts in this case"
+        )
+    return 0.5 * (training_accuracy + baseline)
+
+
+def required_online_samples(
+    training_accuracy: float,
+    t: int,
+    error_probability: float = 0.01,
+) -> int:
+    """Online samples needed to separate CIPHER from RANDOM.
+
+    Gaussian two-hypothesis sizing: with ``p1 = a`` (cipher) and
+    ``p0 = 1/t`` (random), the midpoint threshold errs with probability
+    ``<= error_probability`` on both sides once
+
+    ``n >= ((z sqrt(p0 q0) + z sqrt(p1 q1)) / (p1 - p0))^2``.
+
+    This is the quantity behind the paper's ``2^14.3`` online
+    complexity for the 8-round Gimli distinguishers.
+    """
+    if not 0.0 < error_probability < 0.5:
+        raise DistinguisherError(
+            f"error probability must be in (0, 0.5), got {error_probability}"
+        )
+    p0 = 1.0 / t
+    p1 = training_accuracy
+    if p1 <= p0:
+        raise DistinguisherError(
+            f"training accuracy {p1:.4f} does not exceed the baseline {p0:.4f}"
+        )
+    z = float(stats.norm.isf(error_probability))
+    numerator = z * math.sqrt(p0 * (1 - p0)) + z * math.sqrt(p1 * (1 - p1))
+    n = (numerator / (p1 - p0)) ** 2
+    return int(math.ceil(n))
+
+
+def accuracy_confidence_interval(
+    correct: int, total: int, confidence: float = 0.95
+) -> tuple:
+    """Wilson score interval for an observed accuracy."""
+    if total <= 0:
+        raise DistinguisherError(f"total must be positive, got {total}")
+    if not 0.0 < confidence < 1.0:
+        raise DistinguisherError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    z = float(stats.norm.isf((1.0 - confidence) / 2.0))
+    phat = correct / total
+    denom = 1.0 + z**2 / total
+    center = (phat + z**2 / (2 * total)) / denom
+    half = (
+        z
+        * math.sqrt(phat * (1 - phat) / total + z**2 / (4 * total**2))
+        / denom
+    )
+    return max(0.0, center - half), min(1.0, center + half)

@@ -1,0 +1,58 @@
+"""Classical differential-cryptanalysis substrate.
+
+This package provides everything the paper *compares against*: S-box
+DDT/LAT analysis, differential trails and their Markov-assumption
+probability (paper Eq. 2), an exact differential-probability engine for
+the Gimli SP-box, trail search for Table 1, the Markov-cipher
+definitions of §2.1, and the Albrecht–Leander all-in-one distinguisher
+that the neural models simulate.
+"""
+
+from repro.diffcrypt.allinone import (
+    AllInOneDistribution,
+    bayes_accuracy,
+    gift16_markov_distribution,
+    toyspeck_markov_distribution,
+)
+from repro.diffcrypt.markov import (
+    figure1_demonstration,
+    markov_violation_toygift,
+)
+from repro.diffcrypt.optimal_trails import (
+    gift16_optimal_weight,
+    gift16_trail_vs_allinone,
+    gift16_weight_vector,
+)
+from repro.diffcrypt.sbox import SBox
+from repro.diffcrypt.spbox import (
+    spbox_differential_probability,
+    spbox_deterministic_output,
+    spbox_monte_carlo_probability,
+)
+from repro.diffcrypt.trail import DifferentialTrail, GIMLI_OPTIMAL_WEIGHTS
+from repro.diffcrypt.trail_search import (
+    find_weight_zero_trails,
+    greedy_trail,
+    round_differential_probability,
+)
+
+__all__ = [
+    "AllInOneDistribution",
+    "DifferentialTrail",
+    "GIMLI_OPTIMAL_WEIGHTS",
+    "SBox",
+    "bayes_accuracy",
+    "figure1_demonstration",
+    "find_weight_zero_trails",
+    "gift16_markov_distribution",
+    "gift16_optimal_weight",
+    "gift16_trail_vs_allinone",
+    "gift16_weight_vector",
+    "greedy_trail",
+    "markov_violation_toygift",
+    "round_differential_probability",
+    "spbox_deterministic_output",
+    "spbox_differential_probability",
+    "spbox_monte_carlo_probability",
+    "toyspeck_markov_distribution",
+]

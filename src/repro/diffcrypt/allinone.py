@@ -1,0 +1,194 @@
+"""All-in-one differentials (Albrecht–Leander, SAC 2012).
+
+The all-in-one approach considers the *whole* distribution of output
+differences under one input difference.  For small-state Markov ciphers
+the distribution is exactly computable; the paper's point is that a
+neural network can *simulate* it when the state is large or the cipher
+is non-Markov.  This module provides the exact baselines the ML
+distinguishers are compared against:
+
+* :func:`toyspeck_markov_distribution` — propagates the difference
+  distribution of :class:`~repro.ciphers.toyspeck.ToySpeck` round by
+  round under the Markov assumption (key-XOR makes the one-round kernel
+  key-independent and exactly enumerable).
+* :func:`gift16_markov_distribution` — exact propagation for the scaled
+  GIFT-like SPN via per-nibble DDT tensor products and wiring
+  re-indexing.
+* :class:`AllInOneDistribution` — turns distributions into distinguisher
+  numbers: Bayes-optimal classification accuracy for the paper's
+  ``t``-class game and cipher-vs-random advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ciphers.gift import GIFT16_PERM, GIFT_SBOX
+from repro.ciphers.toyspeck import BLOCK_BITS as TOYSPECK_BITS
+from repro.ciphers.toyspeck import round_difference_kernel
+from repro.diffcrypt.sbox import SBox
+from repro.errors import CipherError
+
+
+def toyspeck_markov_distribution(
+    delta: int,
+    rounds: int,
+    prune_below: float = 0.0,
+    max_active: Optional[int] = None,
+) -> np.ndarray:
+    """Exact-under-Markov output-difference distribution for ToySpeck.
+
+    Starting from the point mass on ``delta``, applies the exact
+    one-round kernel to every difference carrying probability mass.
+    ``prune_below`` drops differences below a mass threshold (the lost
+    mass is redistributed uniformly so the result stays a distribution);
+    ``max_active`` keeps only the heaviest differences per round.
+    With both disabled the result is exact.
+    """
+    size = 1 << TOYSPECK_BITS
+    if not 0 <= delta < size:
+        raise CipherError(f"difference must fit in {TOYSPECK_BITS} bits")
+    if rounds < 0:
+        raise CipherError(f"rounds must be non-negative, got {rounds}")
+    dist = np.zeros(size, dtype=np.float64)
+    dist[delta] = 1.0
+    kernel_cache: Dict[int, np.ndarray] = {}
+    for _ in range(rounds):
+        active = np.nonzero(dist)[0]
+        if prune_below > 0.0:
+            active = active[dist[active] >= prune_below]
+        if max_active is not None and len(active) > max_active:
+            order = np.argsort(dist[active])[::-1]
+            active = active[order[:max_active]]
+        new_dist = np.zeros(size, dtype=np.float64)
+        for diff in active:
+            diff = int(diff)
+            if diff not in kernel_cache:
+                kernel_cache[diff] = round_difference_kernel(diff)
+            new_dist += dist[diff] * kernel_cache[diff]
+        lost = 1.0 - new_dist.sum()
+        if lost > 0.0:
+            new_dist += lost / size
+        dist = new_dist
+    return dist
+
+
+def gift16_markov_distribution(delta: int, rounds: int) -> np.ndarray:
+    """Exact all-in-one distribution for the 16-bit GIFT-like SPN.
+
+    The S-box layer factors over nibbles, so one round of difference
+    propagation is four tensor-mode products with the 16x16 DDT
+    probability matrix followed by a bit-permutation re-indexing.  The
+    round-key XOR leaves differences untouched (Markov holds exactly
+    here, with independent uniform round keys).
+    """
+    if not 0 <= delta < 1 << 16:
+        raise CipherError("difference must fit in 16 bits")
+    sbox = SBox(GIFT_SBOX)
+    ddt_prob = sbox.ddt.astype(np.float64) / 16.0
+
+    # Permutation of difference indices induced by the wiring.
+    values = np.arange(1 << 16, dtype=np.uint32)
+    permuted = np.zeros(1 << 16, dtype=np.int64)
+    for i, target in enumerate(GIFT16_PERM):
+        permuted |= ((values >> np.uint32(i)) & np.uint32(1)).astype(np.int64) << int(
+            target
+        )
+
+    dist = np.zeros(1 << 16, dtype=np.float64)
+    dist[delta] = 1.0
+    for _ in range(rounds):
+        tensor = dist.reshape(16, 16, 16, 16)
+        # Nibble j occupies bits 4j..4j+3; with LSB-first packing the
+        # *last* tensor axis is nibble 0.  Apply the DDT along each axis.
+        for axis in range(4):
+            tensor = np.moveaxis(
+                np.tensordot(ddt_prob.T, tensor, axes=([1], [axis])), 0, axis
+            )
+        flat = tensor.reshape(-1)
+        new_dist = np.zeros_like(flat)
+        np.add.at(new_dist, permuted, flat)
+        dist = new_dist
+    return dist
+
+
+@dataclass(frozen=True)
+class AllInOneDistribution:
+    """Output-difference distributions for ``t`` input differences.
+
+    ``distributions`` has shape ``(t, n_diffs)``; row ``i`` is the
+    distribution of output differences for input difference class ``i``.
+    """
+
+    distributions: np.ndarray
+
+    def __post_init__(self):
+        arr = np.asarray(self.distributions, dtype=np.float64)
+        if arr.ndim != 2:
+            raise CipherError("distributions must be a (t, n) matrix")
+        sums = arr.sum(axis=1)
+        if not np.allclose(sums, 1.0, atol=1e-9):
+            raise CipherError("each row must be a probability distribution")
+        object.__setattr__(self, "distributions", arr)
+
+    @property
+    def num_classes(self) -> int:
+        """The paper's ``t``."""
+        return self.distributions.shape[0]
+
+    def bayes_accuracy(self) -> float:
+        """Accuracy of the Bayes-optimal classifier on balanced classes.
+
+        ``(1/t) * sum over Δ of max_i D_i(Δ)`` — the information-theoretic
+        ceiling any ML model trained on output differences can reach.
+        """
+        return float(self.distributions.max(axis=0).sum() / self.num_classes)
+
+    def random_accuracy(self) -> float:
+        """Expected accuracy against a random oracle (``1/t``)."""
+        return 1.0 / self.num_classes
+
+    def advantage_vs_random(self) -> float:
+        """Mean total-variation distance of each class from uniform."""
+        n = self.distributions.shape[1]
+        uniform = 1.0 / n
+        tv = 0.5 * np.abs(self.distributions - uniform).sum(axis=1)
+        return float(tv.mean())
+
+    def classify(self, diffs: Sequence[int]) -> np.ndarray:
+        """Bayes-optimal class prediction for observed output differences."""
+        idx = np.asarray(diffs, dtype=np.int64)
+        return np.argmax(self.distributions[:, idx], axis=0)
+
+
+def bayes_accuracy(distributions: np.ndarray) -> float:
+    """Convenience wrapper: Bayes accuracy of a ``(t, n)`` distribution set."""
+    return AllInOneDistribution(distributions).bayes_accuracy()
+
+
+def empirical_distribution(
+    output_diffs: np.ndarray, num_diffs: int
+) -> np.ndarray:
+    """Histogram an array of observed output differences into a distribution."""
+    idx = np.asarray(output_diffs, dtype=np.int64)
+    if idx.size == 0:
+        raise CipherError("cannot build a distribution from zero samples")
+    counts = np.bincount(idx, minlength=num_diffs).astype(np.float64)
+    return counts / counts.sum()
+
+
+def toyspeck_allinone(
+    deltas: Sequence[int], rounds: int, **kwargs
+) -> AllInOneDistribution:
+    """All-in-one distribution set for ToySpeck under ``t`` input diffs."""
+    rows = [toyspeck_markov_distribution(d, rounds, **kwargs) for d in deltas]
+    return AllInOneDistribution(np.stack(rows))
+
+
+def gift16_allinone(deltas: Sequence[int], rounds: int) -> AllInOneDistribution:
+    """All-in-one distribution set for Gift16 under ``t`` input diffs."""
+    rows = [gift16_markov_distribution(d, rounds) for d in deltas]
+    return AllInOneDistribution(np.stack(rows))

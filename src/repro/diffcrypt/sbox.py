@@ -1,0 +1,131 @@
+"""S-box analysis: DDT, LAT, uniformity, branch number.
+
+These are the "existing methods" the paper's introduction contrasts the
+ML distinguisher against — the differential branch number and the DDT
+entries that feed MILP/SAT trail search.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CipherError
+from repro.utils.bitops import hamming_weight, parity
+
+
+class SBox:
+    """An n-bit to n-bit S-box with standard differential/linear metrics."""
+
+    def __init__(self, table: Sequence[int]):
+        size = len(table)
+        if size == 0 or size & (size - 1):
+            raise CipherError(f"S-box size must be a power of two, got {size}")
+        self.table = tuple(int(v) for v in table)
+        self.bits = size.bit_length() - 1
+        if any(not 0 <= v < size for v in self.table):
+            raise CipherError("S-box entries must fit the input width")
+
+    @property
+    def size(self) -> int:
+        """Number of table entries (``2^bits``)."""
+        return len(self.table)
+
+    @cached_property
+    def is_permutation(self) -> bool:
+        """Whether the S-box is bijective."""
+        return sorted(self.table) == list(range(self.size))
+
+    @cached_property
+    def inverse(self) -> "SBox":
+        """The inverse S-box (requires a permutation)."""
+        if not self.is_permutation:
+            raise CipherError("only permutation S-boxes have an inverse")
+        inv = [0] * self.size
+        for i, v in enumerate(self.table):
+            inv[v] = i
+        return SBox(inv)
+
+    @cached_property
+    def ddt(self) -> np.ndarray:
+        """Difference distribution table: ``ddt[a, b] = #{x : S(x)^S(x^a)=b}``."""
+        arr = np.array(self.table, dtype=np.int64)
+        x = np.arange(self.size, dtype=np.int64)
+        table = np.zeros((self.size, self.size), dtype=np.int64)
+        for a in range(self.size):
+            b = arr[x] ^ arr[x ^ a]
+            np.add.at(table[a], b, 1)
+        return table
+
+    @cached_property
+    def lat(self) -> np.ndarray:
+        """Linear approximation table (correlation counts, bias form).
+
+        ``lat[a, b] = #{x : <a,x> = <b,S(x)>} - size/2``.
+        """
+        table = np.zeros((self.size, self.size), dtype=np.int64)
+        for a in range(self.size):
+            for b in range(self.size):
+                count = sum(
+                    1
+                    for x in range(self.size)
+                    if parity(x & a) == parity(self.table[x] & b)
+                )
+                table[a, b] = count - self.size // 2
+        return table
+
+    @property
+    def differential_uniformity(self) -> int:
+        """Maximum DDT entry outside the trivial ``(0, 0)`` transition."""
+        ddt = self.ddt.copy()
+        ddt[0, 0] = 0
+        return int(ddt.max())
+
+    def differential_probability(self, delta_in: int, delta_out: int) -> float:
+        """``P(delta_in -> delta_out)`` over a uniform input."""
+        return float(self.ddt[delta_in, delta_out]) / self.size
+
+    def differential_weight(self, delta_in: int, delta_out: int) -> float:
+        """``-log2`` of the transition probability (``inf`` for impossible)."""
+        prob = self.differential_probability(delta_in, delta_out)
+        return float("inf") if prob == 0.0 else -float(np.log2(prob))
+
+    def valid_input_pairs(
+        self, delta_in: int, delta_out: int
+    ) -> Tuple[Tuple[int, int], ...]:
+        """All ordered inputs ``x`` with ``S(x) ^ S(x ^ delta_in) = delta_out``.
+
+        Returns ``(x, S(x))`` pairs — the tuples §2.1 of the paper
+        enumerates for the Figure 1 example.
+        """
+        return tuple(
+            (x, self.table[x])
+            for x in range(self.size)
+            if self.table[x] ^ self.table[x ^ delta_in] == delta_out
+        )
+
+    @cached_property
+    def differential_branch_number(self) -> int:
+        """``min over (a != 0, b) with ddt[a, b] > 0 of wt(a) + wt(b)``."""
+        best = 2 * self.bits
+        ddt = self.ddt
+        for a in range(1, self.size):
+            wa = hamming_weight(a)
+            for b in range(self.size):
+                if ddt[a, b]:
+                    best = min(best, wa + hamming_weight(b))
+        return int(best)
+
+    @cached_property
+    def fixed_points(self) -> Tuple[int, ...]:
+        """Inputs with ``S(x) = x``."""
+        return tuple(x for x in range(self.size) if self.table[x] == x)
+
+    def __call__(self, value: int) -> int:
+        return self.table[int(value) & (self.size - 1)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        hex_table = "".join(f"{v:x}" for v in self.table)
+        return f"SBox({hex_table})"

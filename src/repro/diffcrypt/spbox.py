@@ -1,0 +1,208 @@
+"""Exact differential probability of the 96-bit Gimli SP-box.
+
+The SP-box on one column ``(a, b, c)`` first rotates ``x = a <<< 24``,
+``y = b <<< 9``, ``z = c`` and then outputs
+
+    ``c' = x ^ (z << 1) ^ ((y & z) << 2)``
+    ``b' = y ^ x ^ ((x | z) << 1)``
+    ``a' = z ^ y ^ ((x & y) << 3)``
+
+Because the rotations are linear and every nonlinear term is a bitwise
+AND/OR *shifted upward*, the XOR-difference condition decomposes per bit
+position: position ``i`` of the inputs contributes three "disturbance"
+bits
+
+    ``g1_i = Δ(y & z)_i``  (consumed by ``c'`` at position ``i + 2``)
+    ``g2_i = Δ(x | z)_i``  (consumed by ``b'`` at position ``i + 1``)
+    ``g3_i = Δ(x & y)_i``  (consumed by ``a'`` at position ``i + 3``)
+
+and for a fixed (input, output) difference pair each consumed ``g`` bit
+is *forced* to a specific value, while bits shifted out of the word are
+unconstrained.  Since ``(x_i, y_i, z_i)`` are independent uniform bits
+across positions, the exact differential probability is the product of
+32 per-position probabilities, each obtained by enumerating the eight
+values of ``(x_i, y_i, z_i)``.
+
+This gives a closed-form exact DP for a 96-bit map — the quantity
+SAT/SMT solvers optimise over in the designers' Table 1 — verified here
+against Monte-Carlo simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CipherError
+from repro.utils.bitops import rotl32
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _check_diff(diff: Tuple[int, int, int]) -> Tuple[int, int, int]:
+    if len(diff) != 3:
+        raise CipherError(f"column difference must have 3 words, got {len(diff)}")
+    return tuple(int(w) & _MASK32 for w in diff)
+
+
+def _rotated(diff: Tuple[int, int, int]) -> Tuple[int, int, int]:
+    da, db, dc = diff
+    return rotl32(da, 24), rotl32(db, 9), dc
+
+
+def _position_probability(
+    dx: int, dy: int, dz: int,
+    r1: Optional[int], r2: Optional[int], r3: Optional[int],
+) -> float:
+    """Probability over ``(x, y, z) in {0,1}^3`` that all forced
+    disturbance bits take their required values (``None`` = don't care)."""
+    good = 0
+    for bits in range(8):
+        x, y, z = bits & 1, (bits >> 1) & 1, (bits >> 2) & 1
+        g1 = ((y ^ dy) & (z ^ dz)) ^ (y & z)
+        g2 = ((x ^ dx) | (z ^ dz)) ^ (x | z)
+        g3 = ((x ^ dx) & (y ^ dy)) ^ (x & y)
+        if r1 is not None and g1 != r1:
+            continue
+        if r2 is not None and g2 != r2:
+            continue
+        if r3 is not None and g3 != r3:
+            continue
+        good += 1
+    return good / 8.0
+
+
+def spbox_differential_probability(
+    input_diff: Tuple[int, int, int], output_diff: Tuple[int, int, int]
+) -> float:
+    """Exact ``P(input_diff -> output_diff)`` for one SP-box column.
+
+    Differences are given in state coordinates ``(Δs0, Δs1, Δs2)``;
+    the probability is over a uniform column.
+    """
+    dx, dy, dz = _rotated(_check_diff(input_diff))
+    ba, bb, bc = _check_diff(output_diff)
+
+    # Linear sanity at positions where no disturbance bit is consumed.
+    # c'_j has no g-term for j < 2, b'_j none for j < 1, a'_j none for j < 3.
+    for j in range(2):
+        want = ((dx >> j) & 1) ^ ((dz >> (j - 1)) & 1 if j >= 1 else 0)
+        if ((bc >> j) & 1) != want:
+            return 0.0
+    if ((bb >> 0) & 1) != (((dy >> 0) & 1) ^ ((dx >> 0) & 1)):
+        return 0.0
+    for j in range(3):
+        if ((ba >> j) & 1) != (((dz >> j) & 1) ^ ((dy >> j) & 1)):
+            return 0.0
+
+    probability = 1.0
+    for i in range(32):
+        r1 = r2 = r3 = None
+        j1 = i + 2
+        if j1 < 32:
+            r1 = ((bc >> j1) & 1) ^ ((dx >> j1) & 1) ^ ((dz >> (j1 - 1)) & 1)
+        j2 = i + 1
+        if j2 < 32:
+            r2 = ((bb >> j2) & 1) ^ ((dy >> j2) & 1) ^ ((dx >> j2) & 1)
+        j3 = i + 3
+        if j3 < 32:
+            r3 = ((ba >> j3) & 1) ^ ((dz >> j3) & 1) ^ ((dy >> j3) & 1)
+        p = _position_probability(
+            (dx >> i) & 1, (dy >> i) & 1, (dz >> i) & 1, r1, r2, r3
+        )
+        if p == 0.0:
+            return 0.0
+        probability *= p
+    return probability
+
+
+def spbox_deterministic_output(
+    input_diff: Tuple[int, int, int]
+) -> Optional[Tuple[int, int, int]]:
+    """The unique probability-1 output difference, or ``None``.
+
+    A difference propagates deterministically through the SP-box iff at
+    every position whose disturbance bits are consumed, those bits are
+    constant over the eight ``(x, y, z)`` values — e.g. when the active
+    input bits sit high enough that every affected nonlinear term is
+    shifted out of the word.
+    """
+    dx, dy, dz = _rotated(_check_diff(input_diff))
+    bc = bb = ba = 0
+    for i in range(32):
+        bits = [
+            (
+                ((y ^ ((dy >> i) & 1)) & (z ^ ((dz >> i) & 1))) ^ (y & z),
+                ((x ^ ((dx >> i) & 1)) | (z ^ ((dz >> i) & 1))) ^ (x | z),
+                ((x ^ ((dx >> i) & 1)) & (y ^ ((dy >> i) & 1))) ^ (x & y),
+            )
+            for bitsv in range(8)
+            for x, y, z in [(bitsv & 1, (bitsv >> 1) & 1, (bitsv >> 2) & 1)]
+        ]
+        g1_values = {b[0] for b in bits}
+        g2_values = {b[1] for b in bits}
+        g3_values = {b[2] for b in bits}
+        if i + 2 < 32:
+            if len(g1_values) > 1:
+                return None
+            bc |= next(iter(g1_values)) << (i + 2)
+        if i + 1 < 32:
+            if len(g2_values) > 1:
+                return None
+            bb |= next(iter(g2_values)) << (i + 1)
+        if i + 3 < 32:
+            if len(g3_values) > 1:
+                return None
+            ba |= next(iter(g3_values)) << (i + 3)
+    shift = lambda v, k: (v << k) & _MASK32  # noqa: E731 - local helper
+    bc ^= dx ^ shift(dz, 1)
+    bb ^= dy ^ dx
+    ba ^= dz ^ dy
+    return ba, bb, bc
+
+
+def spbox_apply(column: Tuple[int, int, int]) -> Tuple[int, int, int]:
+    """Apply the SP-box to one concrete column (scalar, for testing)."""
+    a, b, c = _check_diff(column)
+    x = rotl32(a, 24)
+    y = rotl32(b, 9)
+    z = c
+    new_c = (x ^ ((z << 1) & _MASK32) ^ (((y & z) << 2) & _MASK32)) & _MASK32
+    new_b = (y ^ x ^ (((x | z) << 1) & _MASK32)) & _MASK32
+    new_a = (z ^ y ^ (((x & y) << 3) & _MASK32)) & _MASK32
+    return new_a, new_b, new_c
+
+
+def spbox_monte_carlo_probability(
+    input_diff: Tuple[int, int, int],
+    output_diff: Tuple[int, int, int],
+    samples: int = 1 << 16,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Monte-Carlo estimate of the SP-box DP (cross-check for the exact DP)."""
+    gen = rng if rng is not None else np.random.default_rng()
+    da, db, dc = _check_diff(input_diff)
+    ba, bb, bc = _check_diff(output_diff)
+    cols = gen.integers(0, 1 << 32, size=(samples, 3), dtype=np.uint64).astype(
+        np.uint32
+    )
+    a, b, c = cols[:, 0], cols[:, 1], cols[:, 2]
+
+    def batch_spbox(av, bv, cv):
+        x = (av << np.uint32(24)) | (av >> np.uint32(8))
+        y = (bv << np.uint32(9)) | (bv >> np.uint32(23))
+        z = cv
+        nc = x ^ (z << np.uint32(1)) ^ ((y & z) << np.uint32(2))
+        nb = y ^ x ^ ((x | z) << np.uint32(1))
+        na = z ^ y ^ ((x & y) << np.uint32(3))
+        return na, nb, nc
+
+    oa, ob, oc = batch_spbox(a, b, c)
+    pa, pb, pc = batch_spbox(
+        a ^ np.uint32(da), b ^ np.uint32(db), c ^ np.uint32(dc)
+    )
+    hits = ((oa ^ pa) == np.uint32(ba)) & ((ob ^ pb) == np.uint32(bb)) & (
+        (oc ^ pc) == np.uint32(bc)
+    )
+    return float(hits.mean())

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers
+can catch a single base class.  Errors are raised eagerly with precise
+messages; silent failure is never an acceptable outcome for a
+cryptanalytic toolkit, where a wrong answer looks exactly like a result.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CipherError(ReproError):
+    """Invalid cipher parameters (state size, round window, key size...)."""
+
+
+class PaddingError(CipherError):
+    """Malformed input to a padding or mode-of-operation routine."""
+
+
+class ShapeError(ReproError):
+    """A numpy array argument has the wrong shape or dtype."""
+
+
+class LayerError(ReproError):
+    """Invalid neural-network layer configuration or wiring."""
+
+
+class TrainingError(ReproError):
+    """The training loop was asked to do something impossible."""
+
+
+class DistinguisherError(ReproError):
+    """Misuse of the distinguisher protocol (e.g. testing before training)."""
+
+
+class DistinguisherAborted(DistinguisherError):
+    """Offline phase found no signal (training accuracy at the random level).
+
+    Algorithm 2 of the paper prescribes aborting when the training
+    accuracy ``a`` is not significantly above ``1/t``; this exception is
+    that abort.
+    """
+
+
+class SearchError(ReproError):
+    """A trail-search routine was configured inconsistently."""
+
+
+class ExperimentError(ReproError):
+    """Unknown experiment id or invalid experiment configuration."""

@@ -1,0 +1,30 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment is a plain function returning a result dict, with
+sample sizes scaled by the ``REPRO_SCALE`` environment variable
+(``1.0`` = the paper's sizes; default ``0.05`` for laptop-scale runs).
+``python -m repro.experiments <name>`` runs one from the command line;
+the pytest benchmarks in ``benchmarks/`` call the same functions.
+"""
+
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.speck_baseline import run_speck_baseline, run_toyspeck_allinone
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentScale",
+    "get_experiment",
+    "get_scale",
+    "run_experiment",
+    "run_figure1",
+    "run_speck_baseline",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_toyspeck_allinone",
+]

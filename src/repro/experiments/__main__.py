@@ -1,0 +1,60 @@
+"""Command-line entry point: ``python -m repro.experiments <name>``.
+
+Examples::
+
+    python -m repro.experiments figure1
+    REPRO_SCALE=0.2 python -m repro.experiments table2
+    python -m repro.experiments table3 --seed 7
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.report import format_table
+
+
+def _print_result(result: dict) -> None:
+    rows = result.get("rows", [])
+    if rows:
+        headers = list(rows[0].keys())
+        table_rows = [[row.get(h) for h in headers] for row in rows]
+        print(format_table(headers, table_rows, title=result.get("experiment")))
+    meta = {k: v for k, v in result.items() if k != "rows"}
+    print(json.dumps(meta, indent=2, default=str))
+
+
+def main(argv=None) -> int:
+    """Parse arguments, run the experiment(s), print results."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment to run ('all' runs every registered experiment)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        kwargs = {}
+        if args.seed is not None and name not in ("figure1", "complexity"):
+            kwargs["rng"] = args.seed
+        result = run_experiment(name, **kwargs)
+        _print_result(result)
+        print(f"[{name} finished in {time.perf_counter() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Name-indexed experiment registry and runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.complexity import cube_root_summary
+from repro.errors import ExperimentError
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.speck_baseline import (
+    run_speck_baseline,
+    run_toyspeck_allinone,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+
+def _run_complexity() -> Dict:
+    return {"experiment": "complexity", "rows": [cube_root_summary(8)]}
+
+
+def _run_panorama(rounds=(2, 3, 4), **_kwargs) -> Dict:
+    """Exact differential/linear/all-in-one comparison on Gift16."""
+    from repro.diffcrypt.linear import gift16_cryptanalytic_panorama
+
+    rows = [gift16_cryptanalytic_panorama(r, (0x0001, 0x0010)) for r in rounds]
+    return {"experiment": "panorama", "rows": rows}
+
+
+def _run_key_recovery(
+    attack_rounds: int = 4,
+    train_samples: int = 40_000,
+    n_pairs: int = 256,
+    candidate_bits: int = 12,
+    rng=5,
+) -> Dict:
+    """Gohr-style last-round-subkey recovery on round-reduced SPECK."""
+    from repro.core.key_recovery import SpeckKeyRecovery
+
+    recovery = SpeckKeyRecovery(attack_rounds=attack_rounds, epochs=4, rng=rng)
+    accuracy = recovery.train_distinguisher(train_samples)
+    result = recovery.attack(
+        (0x1918, 0x1110, 0x0908, 0x0100),
+        n_pairs=n_pairs,
+        candidate_bits=candidate_bits,
+        rng=3,
+    )
+    return {
+        "experiment": "key-recovery",
+        "rows": [
+            {
+                "attack_rounds": attack_rounds,
+                "distinguisher_accuracy": accuracy,
+                "candidates": len(result.candidates),
+                "true_key_rank": result.true_key_rank,
+                "best_candidate": f"{result.best:#06x}",
+            }
+        ],
+    }
+
+
+EXPERIMENTS: Dict[str, Callable[..., Dict]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "figure1": run_figure1,
+    "speck-baseline": run_speck_baseline,
+    "toyspeck-allinone": run_toyspeck_allinone,
+    "complexity": _run_complexity,
+    "panorama": _run_panorama,
+    "key-recovery": _run_key_recovery,
+}
+
+
+def get_experiment(name: str) -> Callable[..., Dict]:
+    """Look up an experiment function by its registry name."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(f"unknown experiment {name!r}; known: {known}") from None
+
+
+def run_experiment(name: str, **kwargs) -> Dict:
+    """Run an experiment by name with keyword overrides."""
+    return get_experiment(name)(**kwargs)

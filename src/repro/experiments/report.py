@@ -1,0 +1,49 @@
+"""Plain-text rendering of experiment results, paper-vs-measured."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[_render(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def paper_vs_measured(
+    rows: Sequence[Dict],
+    key: str,
+    paper_field: str = "paper",
+    measured_field: str = "measured",
+) -> List[Dict]:
+    """Annotate result rows with the measured-minus-paper delta."""
+    annotated = []
+    for row in rows:
+        entry = dict(row)
+        paper = row.get(paper_field)
+        measured = row.get(measured_field)
+        if isinstance(paper, (int, float)) and isinstance(measured, (int, float)):
+            entry["delta"] = measured - paper
+        annotated.append(entry)
+    del key
+    return annotated

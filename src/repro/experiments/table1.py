@@ -1,0 +1,97 @@
+"""Table 1: optimal differential trail weights for round-reduced Gimli.
+
+The designers obtained the optimal weights (0, 0, 2, 6, 12, 22, 36, 52
+for 1-8 rounds) with SAT/SMT solvers.  This experiment *exhibits* trails
+with our own search machinery:
+
+* a complete probability-1 search over the "safe" difference set for
+  the weight-0 entries (rounds 1-2);
+* beam search with exact SP-box differential probabilities for rounds
+  3+, giving upper bounds on the optimum;
+* Monte-Carlo verification of the exhibited low-round trails on the
+  real permutation.
+
+Reference weights for all 8 rounds are carried from the paper and
+reported next to what the search exhibits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.ciphers.gimli import gimli_permute_batch
+from repro.diffcrypt.trail import GIMLI_OPTIMAL_WEIGHTS, DifferentialTrail
+from repro.diffcrypt.trail_search import (
+    beam_search_trail,
+    default_seeds,
+    find_weight_zero_trails,
+)
+from repro.utils.rng import make_rng
+
+
+def verify_trail_empirically(
+    trail: DifferentialTrail,
+    samples: int = 1 << 14,
+    rng=None,
+    start_round: int = 24,
+) -> float:
+    """Monte-Carlo probability that the trail's input/output differences
+    hold on the real round-reduced permutation (ignores inner rounds)."""
+    generator = make_rng(rng)
+    states = generator.integers(0, 1 << 32, size=(samples, 12), dtype=np.uint64)
+    states = states.astype(np.uint32)
+    delta_in = np.array(trail.input_difference, dtype=np.uint32)
+    delta_out = np.array(trail.output_difference, dtype=np.uint32)
+    out_a = gimli_permute_batch(states, trail.rounds, start_round)
+    out_b = gimli_permute_batch(states ^ delta_in, trail.rounds, start_round)
+    hits = ((out_a ^ out_b) == delta_out).all(axis=1)
+    return float(hits.mean())
+
+
+def run_table1(
+    max_search_rounds: int = 4,
+    beam_width: int = 24,
+    variants: int = 3,
+    verify_samples: int = 1 << 13,
+    rng=None,
+) -> Dict:
+    """Regenerate Table 1's rows: designers' weight vs exhibited weight.
+
+    For rounds beyond ``max_search_rounds`` only the reference weight is
+    reported (the beam search cost grows with rounds while its bound
+    quality degrades — recorded honestly as ``None``).
+    """
+    generator = make_rng(rng)
+    seeds = default_seeds()
+    rows = []
+    for rounds in sorted(GIMLI_OPTIMAL_WEIGHTS):
+        reference = GIMLI_OPTIMAL_WEIGHTS[rounds]
+        exhibited: Optional[float] = None
+        empirical: Optional[float] = None
+        trail: Optional[DifferentialTrail] = None
+        if rounds <= max_search_rounds:
+            weight_zero = find_weight_zero_trails(rounds)
+            if weight_zero:
+                trail = weight_zero[0]
+                exhibited = 0.0
+            else:
+                trail = beam_search_trail(
+                    seeds, rounds, beam_width=beam_width, variants=variants
+                )
+                exhibited = trail.weight
+            if trail is not None and exhibited <= 16:
+                empirical = verify_trail_empirically(
+                    trail, samples=verify_samples, rng=generator
+                )
+        rows.append(
+            {
+                "rounds": rounds,
+                "paper": reference,
+                "measured": exhibited,
+                "trail_probability": None if trail is None else trail.probability,
+                "empirical_probability": empirical,
+            }
+        )
+    return {"experiment": "table1", "rows": rows}

@@ -1,0 +1,148 @@
+"""Table 2: neural distinguisher accuracy on round-reduced Gimli.
+
+The paper reports, for ``2^17.6`` offline samples and 20 epochs:
+
+=======  ==========  ============
+Rounds   Gimli-Hash  Gimli-Cipher
+=======  ==========  ============
+6        0.9689      0.9528
+7        0.7229      0.6340
+8        0.5219      0.5099
+=======  ==========  ============
+
+This experiment retrains both scenario families for the same round
+counts and additionally runs the *online* phase against both a cipher
+and a random oracle (the part of Algorithm 2 Table 2 doesn't show),
+reporting the verdicts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.distinguisher import MLDistinguisher
+from repro.core.scenario import GimliCipherScenario, GimliHashScenario
+from repro.errors import DistinguisherAborted
+from repro.experiments.config import default_scale
+from repro.nn.architectures import mlp_ii
+from repro.utils.rng import derive_rng, make_rng
+
+#: Accuracies printed in the paper's Table 2.
+PAPER_TABLE2 = {
+    ("hash", 6): 0.9689,
+    ("hash", 7): 0.7229,
+    ("hash", 8): 0.5219,
+    ("cipher", 6): 0.9528,
+    ("cipher", 7): 0.6340,
+    ("cipher", 8): 0.5099,
+}
+
+#: Minimum offline samples per round count.  The 8-round signal is a
+#: ~1% accuracy edge; certifying it needs close to the paper's own
+#: 2^17.6 budget, so scaled-down runs are floored here (an 8-round run
+#: with 10k samples would not be the paper's experiment at all).
+#: An explicit ``offline_samples`` argument overrides the floor.
+ROUND_MIN_SAMPLES = {8: 180_000}
+
+#: Minimum online samples and epochs per round count, same rationale
+#: (the paper's own online budget is 2^14.3 ≈ 20k).
+ROUND_MIN_ONLINE = {8: 1 << 14}
+ROUND_MIN_EPOCHS = {8: 5}
+
+
+def _make_scenario(target: str, rounds: int):
+    if target == "hash":
+        return GimliHashScenario(rounds=rounds)
+    if target == "cipher":
+        return GimliCipherScenario(total_rounds=rounds)
+    raise ValueError(f"unknown target {target!r}; expected 'hash' or 'cipher'")
+
+
+def run_table2(
+    rounds: Sequence[int] = (6, 7, 8),
+    targets: Sequence[str] = ("hash", "cipher"),
+    offline_samples: Optional[int] = None,
+    online_samples: Optional[int] = None,
+    epochs: Optional[int] = None,
+    run_online: bool = True,
+    rng=None,
+) -> Dict:
+    """Regenerate Table 2 (accuracy per round count and target).
+
+    Defaults come from ``REPRO_SCALE``; pass explicit sizes to override.
+    Each row reports the offline validation accuracy plus — when
+    ``run_online`` — the online accuracies and verdicts against the
+    cipher and a random oracle.
+    """
+    scale = default_scale()
+    offline = offline_samples if offline_samples is not None else scale.offline_samples
+    online = online_samples if online_samples is not None else scale.online_samples
+    n_epochs = epochs if epochs is not None else scale.table2_epochs
+    generator = make_rng(rng)
+    rows = []
+    for target in targets:
+        for r in rounds:
+            scenario = _make_scenario(target, r)
+            distinguisher = MLDistinguisher(
+                scenario,
+                model=mlp_ii(),
+                epochs=n_epochs,
+                batch_size=256,
+                rng=derive_rng(generator, target, r),
+            )
+            row_offline = offline
+            row_online = online
+            row_epochs = n_epochs
+            if offline_samples is None:
+                row_offline = max(offline, ROUND_MIN_SAMPLES.get(r, 0))
+            if online_samples is None:
+                row_online = max(online, ROUND_MIN_ONLINE.get(r, 0))
+            if epochs is None:
+                row_epochs = max(n_epochs, ROUND_MIN_EPOCHS.get(r, 0))
+                distinguisher.epochs = row_epochs
+            row = {
+                "target": target,
+                "rounds": r,
+                "paper": PAPER_TABLE2.get((target, r)),
+                "offline_samples": row_offline,
+            }
+            try:
+                report = distinguisher.train(
+                    num_samples=row_offline, significance=0.05
+                )
+            except DistinguisherAborted:
+                row.update(
+                    {"measured": 0.5, "aborted": True}
+                )
+                rows.append(row)
+                continue
+            row.update(
+                {
+                    "measured": report.validation_accuracy,
+                    "aborted": False,
+                }
+            )
+            if run_online:
+                cipher_result = distinguisher.test(
+                    scenario.cipher_oracle(), row_online
+                )
+                random_result = distinguisher.test(
+                    scenario.random_oracle(rng=derive_rng(generator, "ro", target, r)),
+                    row_online,
+                )
+                row.update(
+                    {
+                        "online_samples": row_online,
+                        "cipher_accuracy": cipher_result.accuracy,
+                        "cipher_verdict": cipher_result.verdict,
+                        "random_accuracy": random_result.accuracy,
+                        "random_verdict": random_result.verdict,
+                    }
+                )
+            rows.append(row)
+    return {
+        "experiment": "table2",
+        "offline_samples": offline,
+        "epochs": n_epochs,
+        "rows": rows,
+    }

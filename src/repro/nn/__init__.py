@@ -1,0 +1,71 @@
+"""A from-scratch numpy neural-network library.
+
+The paper trains its distinguishers with Keras/TensorFlow (MLPs up to
+1.2M parameters, plus LSTM and CNN comparison points) — none of which is
+available offline, so this package reimplements the required subset:
+layers with exact forward/backward passes, categorical cross-entropy,
+the Adam optimizer the paper uses, a Keras-like ``Sequential`` model
+with ``fit``/``evaluate``/``predict``, parameter counting (reproducing
+Table 3's parameter column), and ``.npz`` model persistence standing in
+for the paper's ``.h5`` files.
+
+Gradients of every layer are validated against numerical differentiation
+in the test suite.
+"""
+
+from repro.nn.callbacks import EarlyStopping, History
+from repro.nn.conv import Conv1D, GlobalAveragePool1D, MaxPool1D
+from repro.nn.initializers import (
+    glorot_uniform,
+    he_uniform,
+    normal_init,
+    zeros_init,
+)
+from repro.nn.layers import (
+    Dense,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    ReLU,
+    Reshape,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.nn.losses import (
+    BinaryCrossentropy,
+    CategoricalCrossentropy,
+    MeanSquaredError,
+)
+from repro.nn.model import Sequential, load_model
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.recurrent import LSTM
+
+__all__ = [
+    "Adam",
+    "BinaryCrossentropy",
+    "CategoricalCrossentropy",
+    "Conv1D",
+    "Dense",
+    "Dropout",
+    "EarlyStopping",
+    "Flatten",
+    "GlobalAveragePool1D",
+    "History",
+    "LSTM",
+    "LeakyReLU",
+    "MaxPool1D",
+    "MeanSquaredError",
+    "ReLU",
+    "Reshape",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Softmax",
+    "Tanh",
+    "glorot_uniform",
+    "he_uniform",
+    "load_model",
+    "normal_init",
+    "zeros_init",
+]

@@ -1,0 +1,107 @@
+"""Training callbacks: history recording and early stopping.
+
+The paper limits epochs manually ("for higher numbers the models tend to
+overfit", §5); ``EarlyStopping`` offers the automated version of that
+judgement for the extension experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+class History:
+    """Per-epoch log of losses and metrics, Keras-style."""
+
+    def __init__(self):
+        self.epochs: List[int] = []
+        self.records: Dict[str, List[float]] = {}
+
+    def append(self, epoch: int, values: Dict[str, float]) -> None:
+        """Record one epoch's values."""
+        self.epochs.append(epoch)
+        for key, value in values.items():
+            self.records.setdefault(key, []).append(float(value))
+
+    def __getitem__(self, key: str) -> List[float]:
+        return self.records[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.records
+
+    def last(self, key: str) -> float:
+        """Most recent value of a recorded series."""
+        series = self.records.get(key)
+        if not series:
+            raise TrainingError(f"history has no record of {key!r}")
+        return series[-1]
+
+
+class Callback:
+    """Base callback; hooks return nothing, state lives on the instance."""
+
+    def on_epoch_end(self, epoch: int, values: Dict[str, float]) -> None:
+        """Called after every epoch with that epoch's logged values."""
+
+    @property
+    def stop_training(self) -> bool:
+        """Whether the training loop should stop after this epoch."""
+        return False
+
+
+class EarlyStopping(Callback):
+    """Stop when a monitored value stops improving.
+
+    ``mode='min'`` monitors losses, ``mode='max'`` accuracies;
+    ``patience`` epochs without improvement trigger the stop.
+    """
+
+    def __init__(
+        self,
+        monitor: str = "loss",
+        patience: int = 2,
+        min_delta: float = 0.0,
+        mode: str = "min",
+    ):
+        if mode not in ("min", "max"):
+            raise TrainingError(f"mode must be 'min' or 'max', got {mode!r}")
+        if patience < 0:
+            raise TrainingError(f"patience must be non-negative, got {patience}")
+        self.monitor = monitor
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.mode = mode
+        self.best: Optional[float] = None
+        self.wait = 0
+        self._stop = False
+
+    def on_epoch_end(self, epoch, values):
+        if self.monitor not in values:
+            raise TrainingError(
+                f"EarlyStopping monitors {self.monitor!r} but the epoch only "
+                f"logged {sorted(values)}"
+            )
+        current = values[self.monitor]
+        if self.best is None:
+            self.best = current
+            return
+        improved = (
+            current < self.best - self.min_delta
+            if self.mode == "min"
+            else current > self.best + self.min_delta
+        )
+        if improved:
+            self.best = current
+            self.wait = 0
+        else:
+            self.wait += 1
+            if self.wait > self.patience:
+                self._stop = True
+
+    @property
+    def stop_training(self) -> bool:
+        return self._stop

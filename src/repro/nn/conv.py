@@ -1,0 +1,185 @@
+"""1-D convolution and pooling layers (the paper's CNN comparison points).
+
+Inputs are ``(batch, steps, channels)``.  The convolution is implemented
+as a sum over kernel offsets of batched matrix products — with the small
+kernels the paper's CNNs use, this is as fast as an im2col in numpy and
+much simpler to differentiate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import LayerError
+from repro.nn.initializers import get_initializer
+from repro.nn.layers import Layer
+
+
+class Conv1D(Layer):
+    """1-D convolution, stride 1, ``valid`` or ``same`` padding."""
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size: int,
+        padding: str = "valid",
+        use_bias: bool = True,
+        kernel_initializer: str = "glorot_uniform",
+    ):
+        super().__init__()
+        if filters <= 0 or kernel_size <= 0:
+            raise LayerError("filters and kernel_size must be positive")
+        if padding not in ("valid", "same"):
+            raise LayerError(f"padding must be 'valid' or 'same', got {padding!r}")
+        self.filters = int(filters)
+        self.kernel_size = int(kernel_size)
+        self.padding = padding
+        self.use_bias = bool(use_bias)
+        self.kernel_initializer = kernel_initializer
+        self._x: Optional[np.ndarray] = None
+
+    def _pad_amounts(self) -> Tuple[int, int]:
+        if self.padding == "valid":
+            return 0, 0
+        total = self.kernel_size - 1
+        return total // 2, total - total // 2
+
+    def build(self, input_shape, rng):
+        if len(input_shape) != 2:
+            raise LayerError(
+                f"Conv1D expects (steps, channels) inputs, got {input_shape}"
+            )
+        steps, channels = input_shape
+        if self.padding == "valid" and steps < self.kernel_size:
+            raise LayerError(
+                f"kernel size {self.kernel_size} exceeds {steps} input steps"
+            )
+        init = get_initializer(self.kernel_initializer)
+        kernel = init((self.kernel_size, channels, self.filters), rng)
+        self.params = [kernel]
+        if self.use_bias:
+            self.params.append(np.zeros(self.filters, dtype=np.float64))
+        self.grads = [np.zeros_like(p) for p in self.params]
+        self.built = True
+
+    def forward(self, x, training=False):
+        left, right = self._pad_amounts()
+        if left or right:
+            x = np.pad(x, ((0, 0), (left, right), (0, 0)))
+        self._x = x if training else None
+        kernel = self.params[0]
+        out_steps = x.shape[1] - self.kernel_size + 1
+        out = np.zeros((x.shape[0], out_steps, self.filters), dtype=np.float64)
+        for offset in range(self.kernel_size):
+            out += x[:, offset:offset + out_steps, :] @ kernel[offset]
+        if self.use_bias:
+            out += self.params[1]
+        return out
+
+    def backward(self, grad):
+        if self._x is None:
+            raise LayerError("backward called without a training forward pass")
+        x = self._x
+        kernel = self.params[0]
+        out_steps = grad.shape[1]
+        kernel_grad = np.zeros_like(kernel)
+        x_grad = np.zeros_like(x)
+        for offset in range(self.kernel_size):
+            window = x[:, offset:offset + out_steps, :]
+            kernel_grad[offset] = np.tensordot(window, grad, axes=([0, 1], [0, 1]))
+            x_grad[:, offset:offset + out_steps, :] += grad @ kernel[offset].T
+        self.grads[0] = kernel_grad
+        if self.use_bias:
+            self.grads[1] = grad.sum(axis=(0, 1))
+        left, right = self._pad_amounts()
+        if left or right:
+            end = x_grad.shape[1] - right
+            x_grad = x_grad[:, left:end, :]
+        return x_grad
+
+    def output_shape(self, input_shape):
+        steps, _channels = input_shape
+        if self.padding == "same":
+            return (steps, self.filters)
+        return (steps - self.kernel_size + 1, self.filters)
+
+    def get_config(self):
+        return {
+            "filters": self.filters,
+            "kernel_size": self.kernel_size,
+            "padding": self.padding,
+            "use_bias": self.use_bias,
+            "kernel_initializer": self.kernel_initializer,
+        }
+
+
+class MaxPool1D(Layer):
+    """Max pooling with non-overlapping windows (stride == pool size)."""
+
+    def __init__(self, pool_size: int = 2):
+        super().__init__()
+        if pool_size <= 0:
+            raise LayerError(f"pool_size must be positive, got {pool_size}")
+        self.pool_size = int(pool_size)
+        self._cache: Optional[Tuple] = None
+
+    def forward(self, x, training=False):
+        n, steps, channels = x.shape
+        usable = (steps // self.pool_size) * self.pool_size
+        trimmed = x[:, :usable, :]
+        windows = trimmed.reshape(
+            n, usable // self.pool_size, self.pool_size, channels
+        )
+        out = windows.max(axis=2)
+        if training:
+            argmax = windows.argmax(axis=2)
+            self._cache = (x.shape, usable, argmax)
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad):
+        if self._cache is None:
+            raise LayerError("backward called without a training forward pass")
+        shape, usable, argmax = self._cache
+        n, steps, channels = shape
+        pooled = usable // self.pool_size
+        x_grad = np.zeros(shape, dtype=np.float64)
+        windows = np.zeros((n, pooled, self.pool_size, channels), dtype=np.float64)
+        n_idx, p_idx, c_idx = np.meshgrid(
+            np.arange(n), np.arange(pooled), np.arange(channels), indexing="ij"
+        )
+        windows[n_idx, p_idx, argmax, c_idx] = grad
+        x_grad[:, :usable, :] = windows.reshape(n, usable, channels)
+        return x_grad
+
+    def output_shape(self, input_shape):
+        steps, channels = input_shape
+        return (steps // self.pool_size, channels)
+
+    def get_config(self):
+        return {"pool_size": self.pool_size}
+
+
+class GlobalAveragePool1D(Layer):
+    """Average over the step axis, producing ``(batch, channels)``."""
+
+    def __init__(self):
+        super().__init__()
+        self._steps: Optional[int] = None
+
+    def forward(self, x, training=False):
+        self._steps = x.shape[1]
+        return x.mean(axis=1)
+
+    def backward(self, grad):
+        if self._steps is None:
+            raise LayerError("backward called without a forward pass")
+        expanded = np.repeat(grad[:, np.newaxis, :], self._steps, axis=1)
+        return expanded / self._steps
+
+    def output_shape(self, input_shape):
+        _steps, channels = input_shape
+        return (channels,)

@@ -1,0 +1,69 @@
+"""Weight initializers (Keras-compatible defaults).
+
+``glorot_uniform`` is the Keras default for ``Dense``/``Conv``/``LSTM``
+kernels, which is what the paper's models used; ``he_uniform`` suits the
+ReLU-heavy MLPs and is available as an option.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def _fans(shape: Sequence[int]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) the way Keras does for dense/conv kernels."""
+    shape = tuple(int(s) for s in shape)
+    if len(shape) < 1:
+        raise ValueError("initializer shape must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[:-2]))
+    return shape[-2] * receptive, shape[-1] * receptive
+
+
+def glorot_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Uniform on ``[-limit, limit]`` with ``limit = sqrt(6 / (fan_in + fan_out))``."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def he_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Uniform on ``[-limit, limit]`` with ``limit = sqrt(6 / fan_in)``."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def normal_init(
+    shape: Sequence[int], rng: np.random.Generator, stddev: float = 0.05
+) -> np.ndarray:
+    """Zero-mean Gaussian initializer."""
+    return rng.normal(0.0, stddev, size=shape).astype(np.float64)
+
+
+def zeros_init(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """All-zero initializer (biases)."""
+    del rng
+    return np.zeros(shape, dtype=np.float64)
+
+
+INITIALIZERS = {
+    "glorot_uniform": glorot_uniform,
+    "he_uniform": he_uniform,
+    "normal": normal_init,
+    "zeros": zeros_init,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        known = ", ".join(sorted(INITIALIZERS))
+        raise ValueError(f"unknown initializer {name!r}; known: {known}") from None

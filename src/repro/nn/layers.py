@@ -1,0 +1,301 @@
+"""Core layers: Dense, activations, Dropout, shape utilities.
+
+Every layer implements the same small contract:
+
+* ``build(input_shape, rng)`` — allocate parameters; ``input_shape``
+  excludes the batch axis;
+* ``forward(x, training)`` — compute outputs, caching whatever the
+  backward pass needs;
+* ``backward(grad)`` — given ``dL/d(output)`` return ``dL/d(input)``
+  and fill ``self.grads`` (aligned with ``self.params``);
+* ``output_shape(input_shape)`` and ``get_config()`` for model
+  persistence.
+
+Gradients are exact (validated against numerical differentiation in the
+tests); float64 is used throughout — the networks here are small enough
+that numerical robustness beats memory footprint.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import LayerError
+from repro.nn.initializers import get_initializer
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def __init__(self):
+        self.params: List[np.ndarray] = []
+        self.grads: List[np.ndarray] = []
+        self.built = False
+        self.trainable = True
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        """Allocate parameters for the given input shape (sans batch axis)."""
+        del input_shape, rng
+        self.built = True
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for a batch ``x``."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Propagate ``dL/d(output)`` to ``dL/d(input)``; fill ``self.grads``."""
+        raise NotImplementedError
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Shape of the output (sans batch axis) for a given input shape."""
+        return input_shape
+
+    def count_params(self) -> int:
+        """Total number of trainable scalars in this layer."""
+        return int(sum(p.size for p in self.params))
+
+    def get_config(self) -> dict:
+        """JSON-serialisable constructor arguments (for persistence)."""
+        return {}
+
+    @property
+    def name(self) -> str:
+        """Class name, used in summaries and persistence."""
+        return type(self).__name__
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x @ W + b``."""
+
+    def __init__(
+        self,
+        units: int,
+        use_bias: bool = True,
+        kernel_initializer: str = "glorot_uniform",
+    ):
+        super().__init__()
+        if units <= 0:
+            raise LayerError(f"Dense units must be positive, got {units}")
+        self.units = int(units)
+        self.use_bias = bool(use_bias)
+        self.kernel_initializer = kernel_initializer
+        self._x: Optional[np.ndarray] = None
+
+    def build(self, input_shape, rng):
+        if len(input_shape) != 1:
+            raise LayerError(
+                f"Dense expects flat inputs, got shape {input_shape}; "
+                "add a Flatten layer first"
+            )
+        init = get_initializer(self.kernel_initializer)
+        weight = init((input_shape[0], self.units), rng)
+        self.params = [weight]
+        if self.use_bias:
+            self.params.append(np.zeros(self.units, dtype=np.float64))
+        self.grads = [np.zeros_like(p) for p in self.params]
+        self.built = True
+
+    def forward(self, x, training=False):
+        self._x = x if training else None
+        out = x @ self.params[0]
+        if self.use_bias:
+            out = out + self.params[1]
+        return out
+
+    def backward(self, grad):
+        if self._x is None:
+            raise LayerError("backward called without a training forward pass")
+        self.grads[0] = self._x.T @ grad
+        if self.use_bias:
+            self.grads[1] = grad.sum(axis=0)
+        return grad @ self.params[0].T
+
+    def output_shape(self, input_shape):
+        return (self.units,)
+
+    def get_config(self):
+        return {
+            "units": self.units,
+            "use_bias": self.use_bias,
+            "kernel_initializer": self.kernel_initializer,
+        }
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self):
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x, training=False):
+        mask = x > 0
+        self._mask = mask if training else None
+        return x * mask
+
+    def backward(self, grad):
+        if self._mask is None:
+            raise LayerError("backward called without a training forward pass")
+        return grad * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with slope ``alpha`` on the negative side (paper §5.1)."""
+
+    def __init__(self, alpha: float = 0.3):
+        super().__init__()
+        if alpha < 0:
+            raise LayerError(f"LeakyReLU alpha must be non-negative, got {alpha}")
+        self.alpha = float(alpha)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x, training=False):
+        mask = x > 0
+        self._mask = mask if training else None
+        return np.where(mask, x, self.alpha * x)
+
+    def backward(self, grad):
+        if self._mask is None:
+            raise LayerError("backward called without a training forward pass")
+        return np.where(self._mask, grad, self.alpha * grad)
+
+    def get_config(self):
+        return {"alpha": self.alpha}
+
+
+class Sigmoid(Layer):
+    """Logistic activation."""
+
+    def __init__(self):
+        super().__init__()
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x, training=False):
+        out = 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+        self._out = out if training else None
+        return out
+
+    def backward(self, grad):
+        if self._out is None:
+            raise LayerError("backward called without a training forward pass")
+        return grad * self._out * (1.0 - self._out)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self):
+        super().__init__()
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x, training=False):
+        out = np.tanh(x)
+        self._out = out if training else None
+        return out
+
+    def backward(self, grad):
+        if self._out is None:
+            raise LayerError("backward called without a training forward pass")
+        return grad * (1.0 - self._out**2)
+
+
+class Softmax(Layer):
+    """Softmax over the last axis (the paper's output layer)."""
+
+    def __init__(self):
+        super().__init__()
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x, training=False):
+        shifted = x - x.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        out = exp / exp.sum(axis=-1, keepdims=True)
+        self._out = out if training else None
+        return out
+
+    def backward(self, grad):
+        if self._out is None:
+            raise LayerError("backward called without a training forward pass")
+        p = self._out
+        inner = (grad * p).sum(axis=-1, keepdims=True)
+        return p * (grad - inner)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float, seed: Optional[int] = None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise LayerError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x, training=False):
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep) / keep
+        self._mask = mask
+        return x * mask
+
+    def backward(self, grad):
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+    def get_config(self):
+        return {"rate": self.rate, "seed": self.seed}
+
+
+class Flatten(Layer):
+    """Collapse all non-batch axes into one."""
+
+    def __init__(self):
+        super().__init__()
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x, training=False):
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad):
+        if self._shape is None:
+            raise LayerError("backward called without a forward pass")
+        return grad.reshape(self._shape)
+
+    def output_shape(self, input_shape):
+        return (int(np.prod(input_shape)),)
+
+
+class Reshape(Layer):
+    """Reshape the non-batch axes (e.g. 128 bits to ``(16, 8)`` for Conv/LSTM)."""
+
+    def __init__(self, target_shape: Sequence[int]):
+        super().__init__()
+        self.target_shape = tuple(int(s) for s in target_shape)
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x, training=False):
+        self._shape = x.shape
+        return x.reshape((x.shape[0],) + self.target_shape)
+
+    def backward(self, grad):
+        if self._shape is None:
+            raise LayerError("backward called without a forward pass")
+        return grad.reshape(self._shape)
+
+    def output_shape(self, input_shape):
+        if int(np.prod(input_shape)) != int(np.prod(self.target_shape)):
+            raise LayerError(
+                f"cannot reshape {input_shape} into {self.target_shape}"
+            )
+        return self.target_shape
+
+    def get_config(self):
+        return {"target_shape": list(self.target_shape)}

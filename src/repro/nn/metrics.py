@@ -1,0 +1,53 @@
+"""Evaluation metrics.
+
+Classification accuracy is the quantity every table of the paper
+reports; it is defined as the fraction of samples whose argmax class
+matches the label.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def categorical_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of samples where ``argmax(pred) == argmax(true)``."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ShapeError(
+            f"label shape {y_true.shape} != prediction shape {y_pred.shape}"
+        )
+    if y_true.ndim != 2:
+        raise ShapeError(f"expected (n, classes) arrays, got shape {y_true.shape}")
+    return float(
+        (y_pred.argmax(axis=1) == y_true.argmax(axis=1)).mean()
+    )
+
+
+def prediction_accuracy(labels: np.ndarray, predicted_classes: np.ndarray) -> float:
+    """Accuracy from integer labels and integer predictions."""
+    labels = np.asarray(labels)
+    predicted_classes = np.asarray(predicted_classes)
+    if labels.shape != predicted_classes.shape:
+        raise ShapeError(
+            f"label shape {labels.shape} != prediction shape "
+            f"{predicted_classes.shape}"
+        )
+    if labels.size == 0:
+        raise ShapeError("cannot compute accuracy of zero samples")
+    return float((labels == predicted_classes).mean())
+
+
+METRICS = {"accuracy": categorical_accuracy}
+
+
+def get_metric(name: str):
+    """Resolve a metric function by name."""
+    try:
+        return METRICS[name]
+    except KeyError:
+        known = ", ".join(sorted(METRICS))
+        raise ShapeError(f"unknown metric {name!r}; known: {known}") from None

@@ -1,0 +1,295 @@
+"""The ``Sequential`` model: Keras-shaped training on numpy layers.
+
+Supports ``compile`` / ``fit`` / ``evaluate`` / ``predict``, shuffled
+mini-batches, validation splits, per-epoch history, parameter counting
+(the Table 3 column), and ``.npz`` persistence standing in for the
+paper's ``.h5`` model files.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import LayerError, TrainingError
+from repro.nn import conv as conv_mod
+from repro.nn import layers as layers_mod
+from repro.nn import recurrent as recurrent_mod
+from repro.nn.callbacks import Callback, History
+from repro.nn.layers import Layer
+from repro.nn.losses import Loss, get_loss, one_hot
+from repro.nn.metrics import get_metric
+from repro.nn.optimizers import Optimizer, get_optimizer
+from repro.utils.rng import make_rng
+
+_LAYER_MODULES = (layers_mod, conv_mod, recurrent_mod)
+
+
+def _layer_class(name: str):
+    for module in _LAYER_MODULES:
+        cls = getattr(module, name, None)
+        if isinstance(cls, type) and issubclass(cls, Layer):
+            return cls
+    raise LayerError(f"unknown layer class {name!r} in saved model")
+
+
+class Sequential:
+    """A linear stack of layers."""
+
+    def __init__(self, layers: Optional[Sequence[Layer]] = None):
+        self.layers: List[Layer] = list(layers) if layers else []
+        self.input_shape: Optional[Tuple[int, ...]] = None
+        self.loss: Optional[Loss] = None
+        self.optimizer: Optional[Optimizer] = None
+        self.metric_names: List[str] = []
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer; returns self for chaining."""
+        if self.input_shape is not None:
+            raise TrainingError("cannot add layers after the model is built")
+        self.layers.append(layer)
+        return self
+
+    # -- construction ------------------------------------------------------
+
+    def build(self, input_shape: Sequence[int], rng=None) -> "Sequential":
+        """Allocate all parameters for inputs of ``input_shape`` (sans batch)."""
+        if not self.layers:
+            raise TrainingError("cannot build an empty model")
+        generator = make_rng(rng)
+        shape = tuple(int(s) for s in input_shape)
+        self.input_shape = shape
+        for layer in self.layers:
+            if not layer.built:
+                layer.build(shape, generator)
+            shape = layer.output_shape(shape)
+        return self
+
+    def compile(
+        self,
+        loss="categorical_crossentropy",
+        optimizer="adam",
+        metrics: Sequence[str] = ("accuracy",),
+    ) -> "Sequential":
+        """Attach loss, optimizer and metrics (Keras-style)."""
+        self.loss = get_loss(loss)
+        self.optimizer = get_optimizer(optimizer)
+        self.metric_names = list(metrics)
+        return self
+
+    def count_params(self) -> int:
+        """Total trainable parameters (the paper's Table 3 column)."""
+        if self.input_shape is None:
+            raise TrainingError("build the model before counting parameters")
+        return sum(layer.count_params() for layer in self.layers)
+
+    def summary(self) -> str:
+        """A textual per-layer summary, returned (not printed)."""
+        if self.input_shape is None:
+            raise TrainingError("build the model before summarising it")
+        lines = [f"{'Layer':<24}{'Output shape':<20}{'Params':>10}"]
+        shape = self.input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+            lines.append(f"{layer.name:<24}{str(shape):<20}{layer.count_params():>10}")
+        lines.append(f"Total params: {self.count_params()}")
+        return "\n".join(lines)
+
+    # -- forward / backward ------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the full stack."""
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the full stack."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def _gather(self) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        params: List[np.ndarray] = []
+        grads: List[np.ndarray] = []
+        for layer in self.layers:
+            if layer.trainable:
+                params.extend(layer.params)
+                grads.extend(layer.grads)
+        return params, grads
+
+    # -- training ----------------------------------------------------------
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 1,
+        batch_size: int = 128,
+        validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        validation_split: float = 0.0,
+        shuffle: bool = True,
+        rng=None,
+        callbacks: Sequence[Callback] = (),
+        verbose: bool = False,
+    ) -> History:
+        """Train with shuffled mini-batches; returns the epoch history.
+
+        ``y`` may be integer class labels (converted to one-hot against
+        the model's output width) or an already-encoded target matrix.
+        """
+        if self.loss is None or self.optimizer is None:
+            raise TrainingError("compile the model before fitting")
+        if epochs <= 0:
+            raise TrainingError(f"epochs must be positive, got {epochs}")
+        if batch_size <= 0:
+            raise TrainingError(f"batch size must be positive, got {batch_size}")
+        x = np.asarray(x, dtype=np.float64)
+        if self.input_shape is None:
+            self.build(x.shape[1:], rng)
+        y = self._encode_targets(x, y)
+        if validation_split and validation_data is not None:
+            raise TrainingError(
+                "pass either validation_split or validation_data, not both"
+            )
+        generator = make_rng(rng)
+        if validation_split:
+            if not 0.0 < validation_split < 1.0:
+                raise TrainingError(
+                    f"validation_split must be in (0, 1), got {validation_split}"
+                )
+            cut = int(round(x.shape[0] * (1.0 - validation_split)))
+            if cut == 0 or cut == x.shape[0]:
+                raise TrainingError("validation split leaves an empty partition")
+            validation_data = (x[cut:], y[cut:])
+            x, y = x[:cut], y[:cut]
+
+        history = History()
+        n = x.shape[0]
+        for epoch in range(epochs):
+            start = time.perf_counter()
+            order = generator.permutation(n) if shuffle else np.arange(n)
+            epoch_loss = 0.0
+            correct = 0.0
+            for begin in range(0, n, batch_size):
+                idx = order[begin:begin + batch_size]
+                xb, yb = x[idx], y[idx]
+                pred = self.forward(xb, training=True)
+                loss_value, grad = self.loss(yb, pred)
+                self.backward(grad)
+                params, grads = self._gather()
+                self.optimizer.update(params, grads)
+                epoch_loss += loss_value * len(idx)
+                correct += (pred.argmax(axis=1) == yb.argmax(axis=1)).sum()
+            values: Dict[str, float] = {
+                "loss": epoch_loss / n,
+                "accuracy": correct / n,
+                "time": time.perf_counter() - start,
+            }
+            if validation_data is not None:
+                val_loss, val_metrics = self.evaluate(
+                    validation_data[0], validation_data[1], batch_size=batch_size
+                )
+                values["val_loss"] = val_loss
+                for key, metric_value in val_metrics.items():
+                    values[f"val_{key}"] = metric_value
+            history.append(epoch, values)
+            if verbose:
+                rendered = " ".join(f"{k}={v:.4f}" for k, v in values.items())
+                print(f"epoch {epoch + 1}/{epochs}: {rendered}")
+            stop = False
+            for callback in callbacks:
+                callback.on_epoch_end(epoch, values)
+                stop = stop or callback.stop_training
+            if stop:
+                break
+        return history
+
+    def _encode_targets(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y)
+        if y.ndim == 1:
+            if self.input_shape is None:
+                raise TrainingError("build the model before encoding labels")
+            shape = self.input_shape
+            for layer in self.layers:
+                shape = layer.output_shape(shape)
+            y = one_hot(y.astype(np.int64), shape[-1])
+        if y.shape[0] != x.shape[0]:
+            raise TrainingError(
+                f"x has {x.shape[0]} samples but y has {y.shape[0]}"
+            )
+        return y.astype(np.float64)
+
+    # -- inference ---------------------------------------------------------
+
+    def predict(self, x: np.ndarray, batch_size: int = 4096) -> np.ndarray:
+        """Forward pass in inference mode, batched to bound memory."""
+        x = np.asarray(x, dtype=np.float64)
+        outputs = []
+        for begin in range(0, x.shape[0], batch_size):
+            outputs.append(self.forward(x[begin:begin + batch_size], training=False))
+        return np.concatenate(outputs, axis=0)
+
+    def predict_classes(self, x: np.ndarray, batch_size: int = 4096) -> np.ndarray:
+        """Argmax class predictions."""
+        return self.predict(x, batch_size).argmax(axis=1)
+
+    def evaluate(
+        self, x: np.ndarray, y: np.ndarray, batch_size: int = 4096
+    ) -> Tuple[float, Dict[str, float]]:
+        """Return ``(loss, {metric: value})`` on a dataset."""
+        if self.loss is None:
+            raise TrainingError("compile the model before evaluating")
+        x = np.asarray(x, dtype=np.float64)
+        y = self._encode_targets(x, y)
+        pred = self.predict(x, batch_size)
+        loss_value, _ = self.loss(y, pred)
+        metrics = {
+            name: get_metric(name)(y, pred) for name in self.metric_names
+        }
+        return loss_value, metrics
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Persist architecture + weights to a ``.npz`` file."""
+        if self.input_shape is None:
+            raise TrainingError("build the model before saving it")
+        config = {
+            "input_shape": list(self.input_shape),
+            "layers": [
+                {"class": layer.name, "config": layer.get_config()}
+                for layer in self.layers
+            ],
+        }
+        arrays = {"config": np.frombuffer(json.dumps(config).encode(), dtype=np.uint8)}
+        for i, layer in enumerate(self.layers):
+            for j, param in enumerate(layer.params):
+                arrays[f"layer{i}_param{j}"] = param
+        np.savez(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str) -> "Sequential":
+        """Rebuild a model saved with :meth:`save`."""
+        with np.load(path) as data:
+            config = json.loads(bytes(data["config"]).decode())
+            model = cls(
+                [
+                    _layer_class(entry["class"])(**entry["config"])
+                    for entry in config["layers"]
+                ]
+            )
+            model.build(config["input_shape"], rng=0)
+            for i, layer in enumerate(model.layers):
+                for j in range(len(layer.params)):
+                    layer.params[j][...] = data[f"layer{i}_param{j}"]
+        return model
+
+
+def load_model(path: str) -> Sequential:
+    """Convenience alias for :meth:`Sequential.load`."""
+    return Sequential.load(path)

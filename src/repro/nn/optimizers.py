@@ -1,0 +1,101 @@
+"""Optimizers: SGD with momentum and Adam (the paper's choice, §1)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+class Optimizer:
+    """Base class: stateful parameter updates keyed by parameter identity."""
+
+    def update(self, params: List[np.ndarray], grads: List[np.ndarray]) -> None:
+        """Apply one in-place update step to every parameter."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0):
+        if learning_rate <= 0:
+            raise TrainingError(f"learning rate must be positive, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise TrainingError(f"momentum must be in [0, 1), got {momentum}")
+        self.learning_rate = float(learning_rate)
+        self.momentum = float(momentum)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def update(self, params, grads):
+        if len(params) != len(grads):
+            raise TrainingError("parameter and gradient lists differ in length")
+        for index, (param, grad) in enumerate(zip(params, grads)):
+            if self.momentum:
+                velocity = self._velocity.get(index)
+                if velocity is None:
+                    velocity = np.zeros_like(param)
+                velocity = self.momentum * velocity - self.learning_rate * grad
+                self._velocity[index] = velocity
+                param += velocity
+            else:
+                param -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2014) with Keras default hyper-parameters."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta_1: float = 0.9,
+        beta_2: float = 0.999,
+        epsilon: float = 1e-7,
+    ):
+        if learning_rate <= 0:
+            raise TrainingError(f"learning rate must be positive, got {learning_rate}")
+        if not 0.0 <= beta_1 < 1.0 or not 0.0 <= beta_2 < 1.0:
+            raise TrainingError("beta parameters must lie in [0, 1)")
+        self.learning_rate = float(learning_rate)
+        self.beta_1 = float(beta_1)
+        self.beta_2 = float(beta_2)
+        self.epsilon = float(epsilon)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._step = 0
+
+    def update(self, params, grads):
+        if len(params) != len(grads):
+            raise TrainingError("parameter and gradient lists differ in length")
+        self._step += 1
+        bias_1 = 1.0 - self.beta_1**self._step
+        bias_2 = 1.0 - self.beta_2**self._step
+        for index, (param, grad) in enumerate(zip(params, grads)):
+            m = self._m.get(index)
+            v = self._v.get(index)
+            if m is None:
+                m = np.zeros_like(param)
+                v = np.zeros_like(param)
+            m = self.beta_1 * m + (1.0 - self.beta_1) * grad
+            v = self.beta_2 * v + (1.0 - self.beta_2) * grad**2
+            self._m[index] = m
+            self._v[index] = v
+            m_hat = m / bias_1
+            v_hat = v / bias_2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+OPTIMIZERS = {"sgd": SGD, "adam": Adam}
+
+
+def get_optimizer(spec) -> Optimizer:
+    """Resolve an optimizer from an instance or a Keras-style string name."""
+    if isinstance(spec, Optimizer):
+        return spec
+    try:
+        return OPTIMIZERS[spec]()
+    except KeyError:
+        known = ", ".join(sorted(OPTIMIZERS))
+        raise TrainingError(f"unknown optimizer {spec!r}; known: {known}") from None

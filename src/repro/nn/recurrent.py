@@ -1,0 +1,168 @@
+"""LSTM layer with full backpropagation through time.
+
+The paper's §5.1 compares LSTM networks against MLPs and CNNs for the
+distinguisher task (they learn, but train roughly 10x slower than the
+MLPs — a ratio this numpy implementation reproduces for free).
+
+Gate layout follows Keras: one kernel ``W (features, 4*units)``, one
+recurrent kernel ``U (units, 4*units)`` and one bias ``b (4*units,)``,
+with gate order ``[input, forget, cell, output]``.  The forget-gate bias
+is initialised to one (the Keras ``unit_forget_bias`` default).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import LayerError
+from repro.nn.initializers import get_initializer
+from repro.nn.layers import Layer
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+
+
+class LSTM(Layer):
+    """Long Short-Term Memory layer over ``(batch, steps, features)`` input."""
+
+    def __init__(
+        self,
+        units: int,
+        return_sequences: bool = False,
+        kernel_initializer: str = "glorot_uniform",
+    ):
+        super().__init__()
+        if units <= 0:
+            raise LayerError(f"LSTM units must be positive, got {units}")
+        self.units = int(units)
+        self.return_sequences = bool(return_sequences)
+        self.kernel_initializer = kernel_initializer
+        self._cache: Optional[dict] = None
+
+    def build(self, input_shape, rng):
+        if len(input_shape) != 2:
+            raise LayerError(
+                f"LSTM expects (steps, features) inputs, got {input_shape}; "
+                "use Reshape to shape flat bit vectors into sequences"
+            )
+        _steps, features = input_shape
+        init = get_initializer(self.kernel_initializer)
+        kernel = init((features, 4 * self.units), rng)
+        recurrent = init((self.units, 4 * self.units), rng)
+        bias = np.zeros(4 * self.units, dtype=np.float64)
+        bias[self.units:2 * self.units] = 1.0  # forget-gate bias
+        self.params = [kernel, recurrent, bias]
+        self.grads = [np.zeros_like(p) for p in self.params]
+        self.built = True
+
+    def forward(self, x, training=False):
+        kernel, recurrent, bias = self.params
+        n, steps, _features = x.shape
+        units = self.units
+        h = np.zeros((n, units), dtype=np.float64)
+        c = np.zeros((n, units), dtype=np.float64)
+        hs = np.zeros((n, steps, units), dtype=np.float64)
+        cache = {
+            "x": x,
+            "i": np.zeros((n, steps, units)),
+            "f": np.zeros((n, steps, units)),
+            "g": np.zeros((n, steps, units)),
+            "o": np.zeros((n, steps, units)),
+            "c": np.zeros((n, steps, units)),
+            "c_prev": np.zeros((n, steps, units)),
+            "h_prev": np.zeros((n, steps, units)),
+        }
+        for t in range(steps):
+            z = x[:, t, :] @ kernel + h @ recurrent + bias
+            i = _sigmoid(z[:, 0 * units:1 * units])
+            f = _sigmoid(z[:, 1 * units:2 * units])
+            g = np.tanh(z[:, 2 * units:3 * units])
+            o = _sigmoid(z[:, 3 * units:4 * units])
+            cache["c_prev"][:, t, :] = c
+            cache["h_prev"][:, t, :] = h
+            c = f * c + i * g
+            h = o * np.tanh(c)
+            cache["i"][:, t, :] = i
+            cache["f"][:, t, :] = f
+            cache["g"][:, t, :] = g
+            cache["o"][:, t, :] = o
+            cache["c"][:, t, :] = c
+            hs[:, t, :] = h
+        self._cache = cache if training else None
+        return hs if self.return_sequences else hs[:, -1, :]
+
+    def backward(self, grad):
+        if self._cache is None:
+            raise LayerError("backward called without a training forward pass")
+        kernel, recurrent, _bias = self.params
+        cache = self._cache
+        x = cache["x"]
+        n, steps, features = x.shape
+        units = self.units
+
+        if self.return_sequences:
+            grad_hs = grad
+        else:
+            grad_hs = np.zeros((n, steps, units), dtype=np.float64)
+            grad_hs[:, -1, :] = grad
+
+        kernel_grad = np.zeros_like(kernel)
+        recurrent_grad = np.zeros_like(recurrent)
+        bias_grad = np.zeros(4 * units, dtype=np.float64)
+        x_grad = np.zeros_like(x)
+        dh_next = np.zeros((n, units), dtype=np.float64)
+        dc_next = np.zeros((n, units), dtype=np.float64)
+
+        for t in range(steps - 1, -1, -1):
+            i = cache["i"][:, t, :]
+            f = cache["f"][:, t, :]
+            g = cache["g"][:, t, :]
+            o = cache["o"][:, t, :]
+            c = cache["c"][:, t, :]
+            c_prev = cache["c_prev"][:, t, :]
+            h_prev = cache["h_prev"][:, t, :]
+
+            dh = grad_hs[:, t, :] + dh_next
+            tanh_c = np.tanh(c)
+            do = dh * tanh_c
+            dc = dh * o * (1.0 - tanh_c**2) + dc_next
+            di = dc * g
+            dg = dc * i
+            df = dc * c_prev
+            dc_next = dc * f
+
+            dz = np.concatenate(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    dg * (1.0 - g**2),
+                    do * o * (1.0 - o),
+                ],
+                axis=1,
+            )
+            kernel_grad += x[:, t, :].T @ dz
+            recurrent_grad += h_prev.T @ dz
+            bias_grad += dz.sum(axis=0)
+            x_grad[:, t, :] = dz @ kernel.T
+            dh_next = dz @ recurrent.T
+
+        self.grads[0] = kernel_grad
+        self.grads[1] = recurrent_grad
+        self.grads[2] = bias_grad
+        return x_grad
+
+    def output_shape(self, input_shape):
+        steps, _features = input_shape
+        if self.return_sequences:
+            return (steps, self.units)
+        return (self.units,)
+
+    def get_config(self):
+        return {
+            "units": self.units,
+            "return_sequences": self.return_sequences,
+            "kernel_initializer": self.kernel_initializer,
+        }

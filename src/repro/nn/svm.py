@@ -1,0 +1,166 @@
+"""Linear SVM classifier — the paper's suggested NN alternative (§6).
+
+The conclusion notes that "since the work relies on a classification
+problem at its core, a Support Vector Machine (SVM) can be used instead
+of [a] neural network".  This module provides that alternative: a
+one-vs-rest linear SVM trained by mini-batch sub-gradient descent on
+the L2-regularised hinge loss.  It exposes the same ``fit`` /
+``predict_classes`` / ``evaluate`` surface the distinguisher needs, so
+:class:`~repro.core.distinguisher.MLDistinguisher` accepts it via the
+``model`` parameter unchanged.
+
+On the distinguisher's bit-vector features a linear model can only see
+per-bit biases, not bit correlations — the ablation benchmark
+(`benchmarks/bench_ablations.py`) quantifies how much accuracy that
+costs against the MLP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.callbacks import History
+from repro.utils.rng import make_rng
+
+
+class LinearSVM:
+    """One-vs-rest linear SVM with hinge loss and L2 regularisation."""
+
+    def __init__(
+        self,
+        num_classes: int = 2,
+        learning_rate: float = 0.05,
+        regularization: float = 1e-4,
+    ):
+        if num_classes < 2:
+            raise TrainingError(f"need at least 2 classes, got {num_classes}")
+        if learning_rate <= 0:
+            raise TrainingError(f"learning rate must be positive, got {learning_rate}")
+        if regularization < 0:
+            raise TrainingError(
+                f"regularization must be non-negative, got {regularization}"
+            )
+        self.num_classes = int(num_classes)
+        self.learning_rate = float(learning_rate)
+        self.regularization = float(regularization)
+        self.weights: Optional[np.ndarray] = None  # (features, classes)
+        self.bias: Optional[np.ndarray] = None  # (classes,)
+        self.loss = object()  # sentinel: tells MLDistinguisher we are compiled
+        self.input_shape: Optional[Tuple[int, ...]] = None
+        self.layers = [self]  # non-empty marker for the distinguisher
+
+    # -- model surface shared with Sequential --------------------------------
+
+    def build(self, input_shape, rng=None) -> "LinearSVM":
+        """Allocate zero weights for ``input_shape`` features."""
+        if len(tuple(input_shape)) != 1:
+            raise TrainingError("LinearSVM expects flat bit-vector inputs")
+        features = int(input_shape[0])
+        self.weights = np.zeros((features, self.num_classes), dtype=np.float64)
+        self.bias = np.zeros(self.num_classes, dtype=np.float64)
+        self.input_shape = (features,)
+        return self
+
+    def compile(self, **_kwargs) -> "LinearSVM":
+        """No-op (kept for Sequential API compatibility)."""
+        return self
+
+    def count_params(self) -> int:
+        """Weights plus biases."""
+        if self.weights is None:
+            raise TrainingError("build the model before counting parameters")
+        return int(self.weights.size + self.bias.size)
+
+    def _margins(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.weights + self.bias
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 5,
+        batch_size: int = 128,
+        rng=None,
+        verbose: bool = False,
+        **_ignored,
+    ) -> History:
+        """Mini-batch sub-gradient descent on the hinge loss.
+
+        ``y`` may be integer labels or one-hot rows (argmax is taken).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        labels = np.asarray(y)
+        if labels.ndim == 2:
+            labels = labels.argmax(axis=1)
+        labels = labels.astype(np.int64)
+        if self.weights is None:
+            self.build(x.shape[1:])
+        if x.shape[0] != labels.shape[0]:
+            raise TrainingError(
+                f"x has {x.shape[0]} samples but y has {labels.shape[0]}"
+            )
+        if epochs <= 0 or batch_size <= 0:
+            raise TrainingError("epochs and batch_size must be positive")
+        generator = make_rng(rng)
+        # One-vs-rest targets in {-1, +1}.
+        targets = -np.ones((x.shape[0], self.num_classes), dtype=np.float64)
+        targets[np.arange(x.shape[0]), labels] = 1.0
+
+        history = History()
+        n = x.shape[0]
+        for epoch in range(epochs):
+            order = generator.permutation(n)
+            total_loss = 0.0
+            for begin in range(0, n, batch_size):
+                idx = order[begin:begin + batch_size]
+                xb, tb = x[idx], targets[idx]
+                margins = self._margins(xb)
+                slack = np.maximum(0.0, 1.0 - tb * margins)
+                total_loss += slack.sum()
+                active = (slack > 0).astype(np.float64) * tb
+                grad_w = -(xb.T @ active) / len(idx)
+                grad_w += self.regularization * self.weights
+                grad_b = -active.mean(axis=0)
+                self.weights -= self.learning_rate * grad_w
+                self.bias -= self.learning_rate * grad_b
+            predictions = self.predict_classes(x)
+            accuracy = float((predictions == labels).mean())
+            values: Dict[str, float] = {
+                "loss": total_loss / (n * self.num_classes),
+                "accuracy": accuracy,
+            }
+            history.append(epoch, values)
+            if verbose:
+                print(f"epoch {epoch + 1}/{epochs}: "
+                      f"loss={values['loss']:.4f} acc={accuracy:.4f}")
+        return history
+
+    def predict(self, x: np.ndarray, batch_size: int = 0) -> np.ndarray:
+        """Raw margins (analogous to Sequential's probabilities)."""
+        del batch_size
+        if self.weights is None:
+            raise TrainingError("fit or build the model before predicting")
+        return self._margins(np.asarray(x, dtype=np.float64))
+
+    def predict_classes(self, x: np.ndarray, batch_size: int = 0) -> np.ndarray:
+        """Argmax one-vs-rest decision."""
+        return self.predict(x, batch_size).argmax(axis=1)
+
+    def evaluate(
+        self, x: np.ndarray, y: np.ndarray, batch_size: int = 0
+    ) -> Tuple[float, Dict[str, float]]:
+        """Return ``(mean hinge loss, {"accuracy": ...})``."""
+        x = np.asarray(x, dtype=np.float64)
+        labels = np.asarray(y)
+        if labels.ndim == 2:
+            labels = labels.argmax(axis=1)
+        labels = labels.astype(np.int64)
+        targets = -np.ones((x.shape[0], self.num_classes), dtype=np.float64)
+        targets[np.arange(x.shape[0]), labels] = 1.0
+        margins = self._margins(x)
+        loss = float(np.maximum(0.0, 1.0 - targets * margins).mean())
+        accuracy = float((margins.argmax(axis=1) == labels).mean())
+        return loss, {"accuracy": accuracy}

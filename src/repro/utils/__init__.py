@@ -1,0 +1,36 @@
+"""Low-level substrate: bit manipulation, encodings and reproducible RNG."""
+
+from repro.utils.bitops import (
+    hamming_weight,
+    mask,
+    parity,
+    rotl,
+    rotl32,
+    rotr,
+    rotr32,
+)
+from repro.utils.encoding import (
+    bits_to_bytes,
+    bytes_to_bits,
+    bytes_to_words,
+    state_to_bits,
+    words_to_bytes,
+)
+from repro.utils.rng import derive_rng, make_rng
+
+__all__ = [
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "bytes_to_words",
+    "derive_rng",
+    "hamming_weight",
+    "make_rng",
+    "mask",
+    "parity",
+    "rotl",
+    "rotl32",
+    "rotr",
+    "rotr32",
+    "state_to_bits",
+    "words_to_bytes",
+]

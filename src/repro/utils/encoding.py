@@ -1,0 +1,103 @@
+"""Conversions between bytes, machine words, bit vectors and NN features.
+
+Conventions
+-----------
+
+* Cipher states are numpy arrays of unsigned words.  Batched states add
+  a leading sample axis, e.g. Gimli batches are ``(n, 12)`` uint32.
+* Byte order within a word is **little-endian**, matching the Gimli and
+  SPECK reference implementations.
+* Bit features for the neural network are float arrays with one column
+  per bit, LSB-first within each word, values in ``{0.0, 1.0}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.bitops import word_dtype
+
+
+def bytes_to_words(data: bytes, width: int = 32) -> np.ndarray:
+    """Unpack little-endian bytes into an array of ``width``-bit words."""
+    dtype = word_dtype(width)
+    nbytes = width // 8
+    if len(data) % nbytes:
+        raise ShapeError(
+            f"byte string of length {len(data)} is not a multiple of the "
+            f"{nbytes}-byte word size"
+        )
+    return np.frombuffer(data, dtype=np.dtype(dtype).newbyteorder("<")).astype(dtype)
+
+
+def words_to_bytes(words: np.ndarray, width: int = 32) -> bytes:
+    """Pack an array of ``width``-bit words into little-endian bytes."""
+    dtype = word_dtype(width)
+    arr = np.asarray(words, dtype=dtype)
+    return arr.astype(np.dtype(dtype).newbyteorder("<"), copy=False).tobytes()
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Expand bytes into a ``{0,1}`` uint8 vector, LSB-first per byte."""
+    raw = np.frombuffer(data, dtype=np.uint8)
+    return np.unpackbits(raw, bitorder="little")
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Inverse of :func:`bytes_to_bits`."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1:
+        raise ShapeError(f"expected a 1-D bit vector, got shape {bits.shape}")
+    if len(bits) % 8:
+        raise ShapeError(f"bit vector length {len(bits)} is not a multiple of 8")
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
+def words_to_bits(words: np.ndarray, width: int = 32) -> np.ndarray:
+    """Expand a batch of words into bit columns, LSB-first within each word.
+
+    ``words`` has shape ``(n, w)``; the result has shape ``(n, w * width)``
+    and dtype uint8.  Column ``i * width + j`` holds bit ``j`` of word ``i``.
+    """
+    dtype = word_dtype(width)
+    arr = np.asarray(words, dtype=dtype)
+    if arr.ndim == 1:
+        arr = arr[np.newaxis, :]
+    n, w = arr.shape
+    as_bytes = arr.astype(np.dtype(dtype).newbyteorder("<"), copy=False)
+    flat = np.frombuffer(as_bytes.tobytes(), dtype=np.uint8).reshape(n, w * width // 8)
+    return np.unpackbits(flat, axis=1, bitorder="little")
+
+
+def bits_to_words(bits: np.ndarray, width: int = 32) -> np.ndarray:
+    """Inverse of :func:`words_to_bits` for a 2-D bit matrix."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 2:
+        raise ShapeError(f"expected a 2-D bit matrix, got shape {bits.shape}")
+    n, total = bits.shape
+    if total % width:
+        raise ShapeError(
+            f"bit matrix has {total} columns, not a multiple of width {width}"
+        )
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    dtype = word_dtype(width)
+    le = np.frombuffer(packed.tobytes(), dtype=np.dtype(dtype).newbyteorder("<"))
+    return le.astype(dtype).reshape(n, total // width)
+
+
+def state_to_bits(states: np.ndarray, width: int = 32) -> np.ndarray:
+    """Convert batched cipher states into float32 NN feature matrices.
+
+    This is the paper's pre-processing step: an output difference (a
+    batch of word vectors) becomes one ``{0.0, 1.0}`` feature row per
+    sample, ready to feed the input layer of the classifier.
+    """
+    return words_to_bits(states, width).astype(np.float32)
+
+
+def hex_state(words: np.ndarray) -> str:
+    """Render a word vector as space-separated hex (debugging aid)."""
+    arr = np.asarray(words).ravel()
+    digits = arr.dtype.itemsize * 2
+    return " ".join(f"{int(w):0{digits}x}" for w in arr)

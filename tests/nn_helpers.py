@@ -1,0 +1,53 @@
+"""Shared helpers for neural-network tests: numerical gradient checking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def layer_gradient_check(
+    layer,
+    x: np.ndarray,
+    rng: np.random.Generator,
+    samples: int = 6,
+    eps: float = 1e-6,
+) -> float:
+    """Worst relative error between analytic and numerical gradients.
+
+    Uses a random linear readout ``L = sum(R * forward(x))`` so the
+    upstream gradient is the constant ``R``; checks both input gradients
+    and every parameter gradient.
+    """
+    if not layer.built:
+        layer.build(x.shape[1:], rng)
+    out = layer.forward(x, training=True)
+    readout = rng.normal(size=out.shape)
+    grad_in = layer.backward(readout)
+
+    def loss() -> float:
+        return float((layer.forward(x, training=True) * readout).sum())
+
+    worst = 0.0
+
+    def check(array: np.ndarray, grads: np.ndarray, perturb) -> None:
+        nonlocal worst
+        flat_indices = rng.integers(0, array.size, size=min(samples, array.size))
+        for flat in flat_indices:
+            idx = np.unravel_index(int(flat), array.shape)
+            original = array[idx]
+            perturb(idx, original + eps)
+            plus = loss()
+            perturb(idx, original - eps)
+            minus = loss()
+            perturb(idx, original)
+            numerical = (plus - minus) / (2 * eps)
+            analytic = grads[idx]
+            scale = max(1e-6, abs(numerical) + abs(analytic))
+            worst = max(worst, abs(numerical - analytic) / scale)
+
+    # Input gradient.
+    check(x, grad_in, lambda idx, v: x.__setitem__(idx, v))
+    # Parameter gradients.
+    for param, grad in zip(layer.params, layer.grads):
+        check(param, grad, lambda idx, v, p=param: p.__setitem__(idx, v))
+    return worst

@@ -1,0 +1,156 @@
+"""Tests for GIFT-64 and the Gift16 scaled SPN."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers.gift import (
+    GIFT64_PERM,
+    GIFT64_PERM_INV,
+    GIFT_SBOX,
+    GIFT_SBOX_INV,
+    Gift16,
+    Gift64,
+    GiftSbox,
+    gift16_bit_permutation,
+    round_constants,
+)
+from repro.errors import CipherError, ShapeError
+
+
+class TestSbox:
+    def test_table_matches_paper_string(self):
+        """§2.1 quotes the S-box as the hex string 1A4C6F392DB7508E."""
+        assert "".join(f"{v:X}" for v in GIFT_SBOX) == "1A4C6F392DB7508E"
+
+    def test_is_permutation(self):
+        assert sorted(GIFT_SBOX) == list(range(16))
+
+    def test_inverse(self):
+        for x in range(16):
+            assert GIFT_SBOX_INV[GIFT_SBOX[x]] == x
+
+    def test_class_forward_inverse(self):
+        for x in range(16):
+            assert GiftSbox.inverse(GiftSbox.forward(x)) == x
+
+    def test_batched_lookup(self):
+        arr = np.arange(16, dtype=np.uint8)
+        assert list(GiftSbox.forward(arr)) == list(GIFT_SBOX)
+
+
+class TestBitPermutation:
+    def test_is_permutation(self):
+        assert sorted(GIFT64_PERM) == list(range(64))
+
+    def test_inverse_table(self):
+        for i in range(64):
+            assert GIFT64_PERM_INV[GIFT64_PERM[i]] == i
+
+    def test_spreads_sbox_outputs(self):
+        """Each S-box's 4 output bits land in 4 different S-boxes."""
+        for box in range(16):
+            targets = {GIFT64_PERM[4 * box + b] // 4 for b in range(4)}
+            assert len(targets) == 4
+
+
+class TestRoundConstants:
+    def test_known_prefix(self):
+        assert round_constants(6) == [0x01, 0x03, 0x07, 0x0F, 0x1F, 0x3E]
+
+    def test_six_bit_range(self):
+        assert all(0 <= c < 64 for c in round_constants(48))
+
+    def test_no_short_cycle(self):
+        constants = round_constants(28)
+        assert len(set(constants)) == 28
+
+
+class TestGift64:
+    KEY = 0x00112233445566778899AABBCCDDEEFF
+
+    def test_roundtrip(self):
+        cipher = Gift64()
+        for pt in (0, 1, 0x0123456789ABCDEF, (1 << 64) - 1):
+            assert cipher.decrypt(cipher.encrypt(pt, self.KEY), self.KEY) == pt
+
+    def test_key_matters(self):
+        cipher = Gift64()
+        assert cipher.encrypt(5, self.KEY) != cipher.encrypt(5, self.KEY ^ 1)
+
+    def test_rounds_matter(self):
+        assert Gift64(rounds=4).encrypt(5, self.KEY) != Gift64(rounds=5).encrypt(
+            5, self.KEY
+        )
+
+    def test_deterministic(self):
+        assert Gift64().encrypt(7, self.KEY) == Gift64().encrypt(7, self.KEY)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CipherError):
+            Gift64().encrypt(1 << 64, self.KEY)
+        with pytest.raises(CipherError):
+            Gift64().encrypt(0, 1 << 128)
+        with pytest.raises(CipherError):
+            Gift64(rounds=0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**128 - 1))
+    def test_roundtrip_random(self, pt, key):
+        cipher = Gift64(rounds=6)
+        assert cipher.decrypt(cipher.encrypt(pt, key), key) == pt
+
+
+class TestGift16:
+    def test_wiring_is_gift_like(self):
+        perm = gift16_bit_permutation()
+        assert sorted(perm) == list(range(16))
+        for box in range(4):
+            targets = {perm[4 * box + b] // 4 for b in range(4)}
+            assert len(targets) == 4
+
+    def test_encrypt_shape(self, rng):
+        cipher = Gift16(rounds=4)
+        pts = rng.integers(0, 1 << 16, size=(10, 1), dtype=np.uint16)
+        keys = rng.integers(0, 1 << 16, size=(10, 4), dtype=np.uint16)
+        out = cipher.encrypt(pts, keys)
+        assert out.shape == (10, 1)
+
+    def test_bijective_for_fixed_key(self):
+        cipher = Gift16(rounds=3)
+        values = np.arange(1 << 16, dtype=np.uint16)
+        keys = np.tile(
+            np.array([0x1234, 0x5678, 0x9ABC], dtype=np.uint16), (1 << 16, 1)
+        )
+        out = cipher.encrypt(values, keys)
+        assert len(np.unique(out)) == 1 << 16
+
+    def test_key_xor_commutes_with_difference(self, rng):
+        """Differences are unaffected by the round keys (Markov)."""
+        cipher = Gift16(rounds=5)
+        pts = rng.integers(0, 1 << 16, size=(64,), dtype=np.uint16)
+        keys_a = rng.integers(0, 1 << 16, size=(64, 5), dtype=np.uint16)
+        delta = np.uint16(0x0011)
+        out_a = cipher.encrypt(pts, keys_a)
+        out_b = cipher.encrypt(pts ^ delta, keys_a)
+        # Same keys: well-defined differences.
+        diff = out_a ^ out_b
+        assert diff.shape == (64, 1)
+
+    def test_shape_validation(self, rng):
+        cipher = Gift16(rounds=2)
+        with pytest.raises(ShapeError):
+            cipher.encrypt(
+                rng.integers(0, 9, size=(4, 2), dtype=np.uint16),
+                rng.integers(0, 9, size=(4, 2), dtype=np.uint16),
+            )
+        with pytest.raises(ShapeError):
+            cipher.encrypt(
+                rng.integers(0, 9, size=(4,), dtype=np.uint16),
+                rng.integers(0, 9, size=(4, 3), dtype=np.uint16),
+            )
+
+    def test_too_many_rounds(self):
+        with pytest.raises(CipherError):
+            Gift16(rounds=9)

@@ -1,0 +1,154 @@
+"""Tests for Gimli-Cipher: AEAD correctness and the reduced c0 pipeline."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers.gimli_cipher import (
+    GimliAead,
+    gimli_aead_decrypt,
+    gimli_aead_encrypt,
+    gimli_aead_reduced_c0_batch,
+    split_round_budget,
+)
+from repro.errors import CipherError
+
+KEY = bytes(range(32))
+NONCE = bytes(range(100, 116))
+
+
+class TestEncryptDecrypt:
+    @settings(max_examples=15, deadline=None)
+    @given(st.binary(max_size=80), st.binary(max_size=40))
+    def test_roundtrip(self, message, ad):
+        ct, tag = gimli_aead_encrypt(message, ad, NONCE, KEY)
+        assert len(ct) == len(message)
+        assert len(tag) == 16
+        assert gimli_aead_decrypt(ct, tag, ad, NONCE, KEY) == message
+
+    def test_empty_everything(self):
+        ct, tag = gimli_aead_encrypt(b"", b"", NONCE, KEY)
+        assert ct == b""
+        assert gimli_aead_decrypt(b"", tag, b"", NONCE, KEY) == b""
+
+    def test_block_boundaries(self):
+        for n in (15, 16, 17, 32, 33):
+            msg = bytes(range(n % 256)) * 1 if n < 256 else b""
+            msg = (b"x" * n)
+            ct, tag = gimli_aead_encrypt(msg, b"", NONCE, KEY)
+            assert gimli_aead_decrypt(ct, tag, b"", NONCE, KEY) == msg
+
+    def test_bad_tag_rejected(self):
+        ct, tag = gimli_aead_encrypt(b"secret", b"", NONCE, KEY)
+        bad = bytes([tag[0] ^ 1]) + tag[1:]
+        assert gimli_aead_decrypt(ct, bad, b"", NONCE, KEY) is None
+
+    def test_wrong_ad_rejected(self):
+        ct, tag = gimli_aead_encrypt(b"secret", b"ad", NONCE, KEY)
+        assert gimli_aead_decrypt(ct, tag, b"da", NONCE, KEY) is None
+
+    def test_wrong_nonce_rejected(self):
+        ct, tag = gimli_aead_encrypt(b"secret", b"", NONCE, KEY)
+        other = bytes(16)
+        assert gimli_aead_decrypt(ct, tag, b"", other, KEY) is None
+
+    def test_tampered_ciphertext_rejected(self):
+        ct, tag = gimli_aead_encrypt(b"secret msg here!", b"", NONCE, KEY)
+        bad = bytes([ct[0] ^ 1]) + ct[1:]
+        assert gimli_aead_decrypt(bad, tag, b"", NONCE, KEY) is None
+
+    def test_key_size_validated(self):
+        with pytest.raises(CipherError):
+            gimli_aead_encrypt(b"", b"", NONCE, b"short")
+
+    def test_nonce_size_validated(self):
+        with pytest.raises(CipherError):
+            gimli_aead_encrypt(b"", b"", b"short", KEY)
+
+    def test_nonce_matters(self):
+        ct1, _ = gimli_aead_encrypt(b"same message", b"", NONCE, KEY)
+        ct2, _ = gimli_aead_encrypt(b"same message", b"", bytes(16), KEY)
+        assert ct1 != ct2
+
+
+class TestGimliAeadClass:
+    def test_roundtrip(self):
+        aead = GimliAead(KEY)
+        ct, tag = aead.encrypt(b"hello", NONCE, b"ad")
+        assert aead.decrypt(ct, tag, NONCE, b"ad") == b"hello"
+
+    def test_reduced_rounds_differ(self):
+        full = GimliAead(KEY, rounds=24).encrypt(b"msg", NONCE)[0]
+        reduced = GimliAead(KEY, rounds=8).encrypt(b"msg", NONCE)[0]
+        assert full != reduced
+
+    def test_invalid_construction(self):
+        with pytest.raises(CipherError):
+            GimliAead(b"short")
+        with pytest.raises(CipherError):
+            GimliAead(KEY, rounds=99)
+
+
+class TestSplitRoundBudget:
+    @pytest.mark.parametrize(
+        "total,expected", [(0, (0, 0)), (1, (1, 0)), (7, (4, 3)), (8, (4, 4)),
+                           (48, (24, 24))]
+    )
+    def test_split(self, total, expected):
+        assert split_round_budget(total) == expected
+
+    def test_negative_raises(self):
+        with pytest.raises(CipherError):
+            split_round_budget(-1)
+
+
+class TestReducedC0Pipeline:
+    def test_full_rounds_match_reference(self):
+        """With 48 total rounds (24 + 24) the pipeline equals the real
+        AEAD's first ciphertext block for empty AD and zero m0."""
+        nonces = np.frombuffer(NONCE, dtype="<u4").astype(np.uint32)[None, :]
+        keys = np.frombuffer(KEY, dtype="<u4").astype(np.uint32)[None, :]
+        c0 = gimli_aead_reduced_c0_batch(nonces, keys, 48)
+        ct, _ = gimli_aead_encrypt(bytes(16), b"", NONCE, KEY, rounds=24)
+        got = b"".join(struct.pack("<I", int(w)) for w in c0[0])
+        assert got == ct[:16]
+
+    def test_batched_rows_independent(self, rng):
+        nonces = rng.integers(0, 2**32, size=(6, 4), dtype=np.uint64).astype(
+            np.uint32
+        )
+        keys = rng.integers(0, 2**32, size=(6, 8), dtype=np.uint64).astype(
+            np.uint32
+        )
+        full = gimli_aead_reduced_c0_batch(nonces, keys, 8)
+        for i in range(6):
+            row = gimli_aead_reduced_c0_batch(nonces[i:i + 1], keys[i:i + 1], 8)
+            assert (full[i] == row[0]).all()
+
+    def test_round_budget_matters(self, rng):
+        nonces = rng.integers(0, 2**32, size=(4, 4), dtype=np.uint64).astype(
+            np.uint32
+        )
+        keys = rng.integers(0, 2**32, size=(4, 8), dtype=np.uint64).astype(
+            np.uint32
+        )
+        a = gimli_aead_reduced_c0_batch(nonces, keys, 6)
+        b = gimli_aead_reduced_c0_batch(nonces, keys, 8)
+        assert (a != b).any()
+
+    def test_shape_validation(self):
+        with pytest.raises(CipherError):
+            gimli_aead_reduced_c0_batch(
+                np.zeros((2, 3), dtype=np.uint32),
+                np.zeros((2, 8), dtype=np.uint32),
+                8,
+            )
+        with pytest.raises(CipherError):
+            gimli_aead_reduced_c0_batch(
+                np.zeros((2, 4), dtype=np.uint32),
+                np.zeros((3, 8), dtype=np.uint32),
+                8,
+            )

@@ -1,0 +1,134 @@
+"""Tests for Gimli-Hash: sponge mode, padding, batched absorb."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers.gimli_hash import (
+    DIGEST_BYTES,
+    RATE_BYTES,
+    GimliHash,
+    absorb_final_block_batch,
+    gimli_hash,
+    pack_message_blocks,
+)
+from repro.errors import CipherError
+
+
+class TestGimliHashFunction:
+    def test_digest_length(self):
+        assert len(gimli_hash(b"")) == DIGEST_BYTES
+
+    def test_deterministic(self):
+        assert gimli_hash(b"abc") == gimli_hash(b"abc")
+
+    def test_different_messages_differ(self):
+        assert gimli_hash(b"abc") != gimli_hash(b"abd")
+
+    def test_padding_distinguishes_lengths(self):
+        # A message and the same message + zero byte must hash differently.
+        assert gimli_hash(b"\x00" * 5) != gimli_hash(b"\x00" * 6)
+
+    def test_block_boundary(self):
+        # 15, 16 and 17 bytes exercise final-block edge cases.
+        digests = {gimli_hash(b"A" * n) for n in (15, 16, 17)}
+        assert len(digests) == 3
+
+    def test_multiblock(self):
+        long = bytes(range(256)) * 2
+        assert len(gimli_hash(long)) == DIGEST_BYTES
+
+    def test_round_reduction_changes_digest(self):
+        assert gimli_hash(b"msg", rounds=8) != gimli_hash(b"msg", rounds=24)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(max_size=100))
+    def test_arbitrary_messages(self, message):
+        digest = gimli_hash(message)
+        assert len(digest) == DIGEST_BYTES
+        assert digest == gimli_hash(message)
+
+
+class TestIncremental:
+    def test_matches_one_shot(self):
+        msg = b"incremental hashing should match the one-shot function"
+        assert GimliHash().update(msg).digest() == gimli_hash(msg)
+
+    def test_split_points_irrelevant(self):
+        msg = bytes(range(100))
+        for split in (0, 1, 15, 16, 17, 99):
+            h = GimliHash().update(msg[:split]).update(msg[split:])
+            assert h.digest() == gimli_hash(msg)
+
+    def test_digest_idempotent(self):
+        h = GimliHash().update(b"x")
+        assert h.digest() == h.digest()
+
+    def test_update_after_digest_raises(self):
+        h = GimliHash()
+        h.digest()
+        with pytest.raises(CipherError):
+            h.update(b"more")
+
+    def test_hexdigest(self):
+        h = GimliHash().update(b"q")
+        assert h.hexdigest() == h.digest().hex()
+
+    def test_invalid_rounds(self):
+        with pytest.raises(CipherError):
+            GimliHash(rounds=25)
+
+
+class TestBatchedAbsorb:
+    def test_matches_reference_first_squeeze(self, rng):
+        msgs = rng.integers(0, 256, size=(8, 15), dtype=np.uint8)
+        blocks = pack_message_blocks(msgs, 15)
+        rates = absorb_final_block_batch(blocks, 15, rounds=24)
+        for i in range(8):
+            expected = gimli_hash(msgs[i].tobytes())[:RATE_BYTES]
+            got = b"".join(struct.pack("<I", int(w)) for w in rates[i])
+            assert got == expected
+
+    def test_shorter_block(self, rng):
+        msgs = rng.integers(0, 256, size=(4, 7), dtype=np.uint8)
+        blocks = pack_message_blocks(msgs, 7)
+        rates = absorb_final_block_batch(blocks, 7, rounds=24)
+        for i in range(4):
+            expected = gimli_hash(msgs[i].tobytes())[:RATE_BYTES]
+            got = b"".join(struct.pack("<I", int(w)) for w in rates[i])
+            assert got == expected
+
+    def test_invalid_block_len(self):
+        blocks = np.zeros((1, 4), dtype=np.uint32)
+        with pytest.raises(CipherError):
+            absorb_final_block_batch(blocks, 16)
+        with pytest.raises(CipherError):
+            absorb_final_block_batch(blocks, -1)
+
+    def test_invalid_shapes(self):
+        with pytest.raises(CipherError):
+            absorb_final_block_batch(np.zeros((2, 3), dtype=np.uint32), 15)
+        with pytest.raises(CipherError):
+            absorb_final_block_batch(
+                np.zeros((2, 4), dtype=np.uint32),
+                15,
+                initial_states=np.zeros((3, 12), dtype=np.uint32),
+            )
+
+    def test_initial_state_respected(self, rng):
+        blocks = pack_message_blocks(
+            rng.integers(0, 256, size=(2, 15), dtype=np.uint8), 15
+        )
+        zero = absorb_final_block_batch(blocks, 15, rounds=8)
+        init = rng.integers(0, 2**32, size=(2, 12), dtype=np.uint64).astype(
+            np.uint32
+        )
+        nonzero = absorb_final_block_batch(blocks, 15, rounds=8, initial_states=init)
+        assert (zero != nonzero).any()
+
+    def test_pack_validates(self, rng):
+        with pytest.raises(CipherError):
+            pack_message_blocks(rng.integers(0, 256, size=(2, 9), dtype=np.uint8), 8)

@@ -1,0 +1,97 @@
+"""Tests for Salsa20: spec quarter-round vector, batch parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers.salsa import (
+    SalsaPermutation,
+    doubleround,
+    doubleround_batch,
+    quarterround,
+    salsa20_core,
+)
+from repro.errors import CipherError
+
+word = st.integers(0, 2**32 - 1)
+
+
+class TestQuarterround:
+    def test_spec_vector_zero(self):
+        assert quarterround(0, 0, 0, 0) == (0, 0, 0, 0)
+
+    def test_spec_vector_one(self):
+        """From the Salsa20 specification document."""
+        assert quarterround(0x00000001, 0, 0, 0) == (
+            0x08008145,
+            0x00000080,
+            0x00010200,
+            0x20500000,
+        )
+
+    @given(word, word, word, word)
+    def test_output_range(self, a, b, c, d):
+        out = quarterround(a, b, c, d)
+        assert all(0 <= w < 2**32 for w in out)
+
+
+class TestDoubleround:
+    def test_changes_state(self):
+        state = list(range(1, 17))
+        assert doubleround(state) != state
+
+    def test_wrong_size_raises(self):
+        with pytest.raises(CipherError):
+            doubleround([0] * 15)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(word, min_size=16, max_size=16), st.integers(1, 10))
+    def test_batch_matches_scalar(self, state, rounds):
+        scalar = state
+        for _ in range(rounds):
+            scalar = doubleround(scalar)
+        batch = doubleround_batch(np.array(state, dtype=np.uint32), rounds)
+        assert scalar == [int(w) for w in batch]
+
+
+class TestCore:
+    def test_feedforward(self):
+        """salsa20_core(0) = 0: the all-zero state is a fixed point of the
+        rounds, and the feed-forward adds zero."""
+        assert salsa20_core([0] * 16) == [0] * 16
+
+    def test_nonzero_differs_from_rounds_only(self):
+        state = list(range(1, 17))
+        core = salsa20_core(state, 2)
+        rounds_only = doubleround(doubleround(state))
+        assert core == [(a + b) & 0xFFFFFFFF for a, b in zip(rounds_only, state)]
+
+
+class TestSalsaPermutation:
+    def test_batch_shape(self, rng):
+        perm = SalsaPermutation(rounds=2)
+        states = rng.integers(0, 2**32, size=(5, 16), dtype=np.uint64).astype(
+            np.uint32
+        )
+        out = perm(states)
+        assert out.shape == (5, 16)
+
+    def test_rounds_zero_identity(self, rng):
+        perm = SalsaPermutation(rounds=0)
+        states = rng.integers(0, 2**32, size=(3, 16), dtype=np.uint64).astype(
+            np.uint32
+        )
+        assert (perm(states) == states).all()
+
+    def test_input_not_mutated(self, rng):
+        states = rng.integers(0, 2**32, size=(3, 16), dtype=np.uint64).astype(
+            np.uint32
+        )
+        copy = states.copy()
+        SalsaPermutation(rounds=3)(states)
+        assert (states == copy).all()
+
+    def test_bad_shape(self):
+        with pytest.raises(CipherError):
+            doubleround_batch(np.zeros((2, 15), dtype=np.uint32))

@@ -1,0 +1,98 @@
+"""Tests for the Figure 1 toy cipher: the paper's §2.1 numbers."""
+
+import pytest
+
+from repro.ciphers.toygift import (
+    PAPER_TRAIL,
+    ToyGift,
+    apply_wiring,
+    byte_to_nibbles,
+    default_wiring,
+    find_wiring,
+    nibbles_to_byte,
+    sbox_layer,
+)
+from repro.errors import CipherError
+
+
+class TestNibbleHelpers:
+    def test_pack_unpack(self):
+        assert nibbles_to_byte((0xA, 0x5)) == 0xA5
+        assert byte_to_nibbles(0xA5) == (0xA, 0x5)
+
+    def test_roundtrip_all(self):
+        for v in range(256):
+            assert nibbles_to_byte(byte_to_nibbles(v)) == v
+
+
+class TestSboxLayer:
+    def test_applies_gift_sbox_per_nibble(self):
+        # GS(0) = 1, GS(0xF) = 0xE.
+        assert sbox_layer(0x0F) == 0x1E
+
+    def test_bijective(self):
+        assert len({sbox_layer(v) for v in range(256)}) == 256
+
+
+class TestWiring:
+    def test_default_is_permutation(self):
+        assert sorted(default_wiring()) == list(range(8))
+
+    def test_apply_wiring_linear(self):
+        w = default_wiring()
+        for a, b in [(0x12, 0x34), (0xFF, 0x0F)]:
+            assert apply_wiring(a ^ b, w) == apply_wiring(a, w) ^ apply_wiring(b, w)
+
+    def test_maps_dw1_to_dy2(self):
+        w = default_wiring()
+        dw1 = nibbles_to_byte(PAPER_TRAIL["delta_w1"])
+        dy2 = nibbles_to_byte(PAPER_TRAIL["delta_y2"])
+        assert apply_wiring(dw1, w) == dy2
+
+    def test_find_wiring_reproducible(self):
+        assert find_wiring() == default_wiring()
+
+
+class TestPaperNumbers:
+    def test_exact_probability_is_2_pow_minus_6(self):
+        assert ToyGift().characteristic_probability_exact() == 2.0**-6
+
+    def test_markov_probability_is_2_pow_minus_9(self):
+        assert ToyGift().characteristic_probability_markov() == 2.0**-9
+
+    def test_exact_exceeds_markov_by_factor_8(self):
+        toy = ToyGift()
+        ratio = (
+            toy.characteristic_probability_exact()
+            / toy.characteristic_probability_markov()
+        )
+        assert ratio == 8.0
+
+
+class TestToyGiftCipher:
+    def test_encrypt_range(self):
+        toy = ToyGift()
+        outputs = {toy.encrypt(v) for v in range(256)}
+        assert len(outputs) == 256  # bijective: S-boxes and wiring are
+
+    def test_invalid_input(self):
+        with pytest.raises(CipherError):
+            ToyGift().encrypt(256)
+
+    def test_invalid_wiring(self):
+        with pytest.raises(CipherError):
+            ToyGift(wiring=[0] * 8)
+
+    def test_round1_is_sbox_layer(self):
+        toy = ToyGift()
+        for v in (0, 5, 0xAB, 0xFF):
+            assert toy.round1(v) == sbox_layer(v)
+
+    def test_custom_wiring_changes_cipher(self):
+        identity = list(range(8))
+        toy_id = ToyGift(wiring=identity)
+        toy_default = ToyGift()
+        different = any(
+            toy_id.encrypt(v) != toy_default.encrypt(v) for v in range(256)
+        )
+        assert different

@@ -1,0 +1,124 @@
+"""Tests for ToySpeck: batch parity, kernel exactness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers.toyspeck import (
+    FULL_ROUNDS,
+    ToySpeck,
+    encrypt_batch,
+    encrypt_block,
+    expand_key,
+    round_difference_kernel,
+)
+from repro.errors import CipherError, ShapeError
+
+byte = st.integers(0, 255)
+
+
+class TestScalar:
+    def test_deterministic(self):
+        assert encrypt_block((1, 2), (3, 4, 5, 6)) == encrypt_block(
+            (1, 2), (3, 4, 5, 6)
+        )
+
+    def test_key_matters(self):
+        assert encrypt_block((1, 2), (3, 4, 5, 6)) != encrypt_block(
+            (1, 2), (3, 4, 5, 7)
+        )
+
+    def test_rounds_matter(self):
+        assert encrypt_block((1, 2), (3, 4, 5, 6), 2) != encrypt_block(
+            (1, 2), (3, 4, 5, 6), 3
+        )
+
+    def test_wrong_key_size(self):
+        with pytest.raises(CipherError):
+            expand_key((1, 2), 4)
+
+
+class TestBatchParity:
+    @settings(max_examples=20, deadline=None)
+    @given(byte, byte, st.tuples(byte, byte, byte, byte), st.integers(1, FULL_ROUNDS))
+    def test_batch_matches_scalar(self, x, y, key, rounds):
+        batch = encrypt_batch(
+            np.array([[x, y]], dtype=np.uint8),
+            np.array([key], dtype=np.uint8),
+            rounds,
+        )
+        assert encrypt_block((x, y), key, rounds) == (
+            int(batch[0, 0]),
+            int(batch[0, 1]),
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            encrypt_batch(
+                np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 4), dtype=np.uint8)
+            )
+
+
+class TestBijectivity:
+    def test_permutation_over_full_domain(self):
+        """For a fixed key the 16-bit block map is a bijection."""
+        values = np.arange(1 << 16, dtype=np.uint32)
+        pts = np.stack(
+            [(values >> 8).astype(np.uint8), (values & 0xFF).astype(np.uint8)],
+            axis=1,
+        )
+        keys = np.tile(np.array([7, 11, 13, 17], dtype=np.uint8), (1 << 16, 1))
+        ct = encrypt_batch(pts, keys, 6)
+        out = (ct[:, 0].astype(np.uint32) << 8) | ct[:, 1]
+        assert len(np.unique(out)) == 1 << 16
+
+
+class TestDifferenceKernel:
+    def test_is_distribution(self):
+        kernel = round_difference_kernel(0x0001)
+        assert kernel.shape == (1 << 16,)
+        assert abs(kernel.sum() - 1.0) < 1e-12
+        assert (kernel >= 0).all()
+
+    def test_zero_diff_is_fixed_point(self):
+        kernel = round_difference_kernel(0)
+        assert kernel[0] == 1.0
+
+    def test_matches_empirical(self, rng):
+        """The exact kernel must agree with sampled single-round
+        difference propagation under random keys."""
+        delta = 0x0340
+        kernel = round_difference_kernel(delta)
+        n = 1 << 14
+        pts = rng.integers(0, 256, size=(n, 2), dtype=np.uint8)
+        keys = rng.integers(0, 256, size=(n, 4), dtype=np.uint8)
+        partner = pts.copy()
+        partner[:, 0] ^= (delta >> 8) & 0xFF
+        partner[:, 1] ^= delta & 0xFF
+        a = encrypt_batch(pts, keys, 1)
+        b = encrypt_batch(partner, keys, 1)
+        observed = (
+            (a[:, 0].astype(np.int64) ^ b[:, 0]) << 8
+        ) | (a[:, 1].astype(np.int64) ^ b[:, 1])
+        # Every observed difference must have non-zero exact probability.
+        assert (kernel[observed] > 0).all()
+        # The most likely exact difference should appear among samples.
+        top = int(kernel.argmax())
+        assert (observed == top).any()
+
+    def test_invalid_delta(self):
+        with pytest.raises(CipherError):
+            round_difference_kernel(1 << 16)
+
+
+class TestToySpeckClass:
+    def test_class_encrypt(self, rng):
+        cipher = ToySpeck(rounds=3)
+        pts = rng.integers(0, 256, size=(5, 2), dtype=np.uint8)
+        keys = rng.integers(0, 256, size=(5, 4), dtype=np.uint8)
+        assert (cipher.encrypt(pts, keys) == encrypt_batch(pts, keys, 3)).all()
+
+    def test_too_many_rounds(self):
+        with pytest.raises(CipherError):
+            ToySpeck(rounds=FULL_ROUNDS + 1)

@@ -1,0 +1,111 @@
+"""Tests for Trivium: scalar/batch parity, state loading, keystream."""
+
+import numpy as np
+import pytest
+
+from repro.ciphers.trivium import (
+    FULL_WARMUP,
+    IV_BITS,
+    KEY_BITS,
+    STATE_BITS,
+    Trivium,
+    clock,
+    keystream,
+    load_state,
+)
+from repro.errors import CipherError, ShapeError
+
+
+def _bits(rng, n):
+    return [int(b) for b in rng.integers(0, 2, size=n)]
+
+
+class TestLoadState:
+    def test_layout(self, rng):
+        key = _bits(rng, KEY_BITS)
+        iv = _bits(rng, IV_BITS)
+        state = load_state(key, iv)
+        assert len(state) == STATE_BITS
+        assert state[:KEY_BITS] == key
+        assert state[93:93 + IV_BITS] == iv
+        assert state[285:288] == [1, 1, 1]
+        # Unfilled positions are zero.
+        assert state[KEY_BITS:93] == [0] * (93 - KEY_BITS)
+
+    def test_wrong_sizes(self):
+        with pytest.raises(CipherError):
+            load_state([0] * 79, [0] * 80)
+        with pytest.raises(CipherError):
+            load_state([0] * 80, [0] * 81)
+
+
+class TestClock:
+    def test_preserves_length(self):
+        state = [0] * STATE_BITS
+        new, z = clock(state)
+        assert len(new) == STATE_BITS
+        assert z in (0, 1)
+
+    def test_shift_structure(self, rng):
+        state = _bits(rng, STATE_BITS)
+        new, _ = clock(state)
+        # Register A shifted: old bits 0..91 appear at 1..92.
+        assert new[1:93] == state[0:92]
+        assert new[94:177] == state[93:176]
+        assert new[178:288] == state[177:287]
+
+
+class TestKeystream:
+    def test_deterministic(self, rng):
+        key = _bits(rng, KEY_BITS)
+        iv = _bits(rng, IV_BITS)
+        assert keystream(key, iv, 32, warmup=64) == keystream(key, iv, 32, warmup=64)
+
+    def test_iv_sensitivity(self, rng):
+        key = _bits(rng, KEY_BITS)
+        iv = _bits(rng, IV_BITS)
+        iv2 = list(iv)
+        iv2[0] ^= 1
+        assert keystream(key, iv, 64, warmup=FULL_WARMUP) != keystream(
+            key, iv2, 64, warmup=FULL_WARMUP
+        )
+
+    def test_batch_matches_scalar(self, rng):
+        keys = rng.integers(0, 2, size=(3, KEY_BITS), dtype=np.uint8)
+        ivs = rng.integers(0, 2, size=(3, IV_BITS), dtype=np.uint8)
+        batch = Trivium(warmup=128).keystream_batch(keys, ivs, 24)
+        for i in range(3):
+            scalar = keystream(
+                [int(b) for b in keys[i]], [int(b) for b in ivs[i]], 24, warmup=128
+            )
+            assert scalar == [int(b) for b in batch[i]]
+
+    def test_batch_shapes(self, rng):
+        keys = rng.integers(0, 2, size=(5, KEY_BITS), dtype=np.uint8)
+        ivs = rng.integers(0, 2, size=(5, IV_BITS), dtype=np.uint8)
+        out = Trivium(warmup=16).keystream_batch(keys, ivs, 10)
+        assert out.shape == (5, 10)
+        assert set(np.unique(out)).issubset({0, 1})
+
+    def test_shape_validation(self, rng):
+        t = Trivium(warmup=0)
+        with pytest.raises(ShapeError):
+            t.keystream_batch(
+                np.zeros((2, 79), dtype=np.uint8), np.zeros((2, 80), dtype=np.uint8), 4
+            )
+        with pytest.raises(ShapeError):
+            t.keystream_batch(
+                np.zeros((2, 80), dtype=np.uint8), np.zeros((3, 80), dtype=np.uint8), 4
+            )
+
+    def test_negative_warmup(self):
+        with pytest.raises(CipherError):
+            Trivium(warmup=-1)
+
+    def test_keystream_balanced_after_full_warmup(self, rng):
+        """Full-warm-up keystream should look balanced."""
+        keys = rng.integers(0, 2, size=(8, KEY_BITS), dtype=np.uint8)
+        ivs = rng.integers(0, 2, size=(8, IV_BITS), dtype=np.uint8)
+        ks = Trivium(warmup=FULL_WARMUP).keystream_batch(keys, ivs, 128)
+        density = ks.mean()
+        assert 0.4 < density < 0.6

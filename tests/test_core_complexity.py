@@ -1,0 +1,77 @@
+"""Tests for the complexity accounting (§4 / §6)."""
+
+import math
+
+import pytest
+
+from repro.core.complexity import (
+    DistinguisherComplexity,
+    classical_trail_complexity,
+    cube_root_summary,
+    gimli8_paper_complexity,
+    log2_samples,
+)
+from repro.errors import DistinguisherError
+
+
+class TestLog2Samples:
+    def test_powers(self):
+        assert log2_samples(1024) == 10.0
+
+    def test_invalid(self):
+        with pytest.raises(DistinguisherError):
+            log2_samples(0)
+
+
+class TestPaperComplexity:
+    def test_quoted_exponents(self):
+        c = gimli8_paper_complexity()
+        assert c.offline_log2 == pytest.approx(17.6)
+        assert c.online_log2 == pytest.approx(14.3)
+
+    def test_speedup_over_8_round_trail(self):
+        """§6: 2^52 classical vs ~2^14.3 online — a ~2^37.7 saving."""
+        c = gimli8_paper_complexity()
+        assert c.speedup_over_trail(52) == pytest.approx(37.7)
+
+    def test_cube_root_claim(self):
+        """The online exponent is close to a third of the trail weight."""
+        c = gimli8_paper_complexity()
+        ratio = c.complexity_exponent_ratio(52)
+        assert 0.2 < ratio < 0.4
+
+    def test_invalid_weight(self):
+        with pytest.raises(DistinguisherError):
+            gimli8_paper_complexity().complexity_exponent_ratio(0)
+
+
+class TestClassicalComplexity:
+    def test_8_rounds(self):
+        assert classical_trail_complexity(8) == 2.0**52
+
+    def test_2_rounds_free(self):
+        assert classical_trail_complexity(2) == 1.0
+
+    def test_unknown_rounds(self):
+        with pytest.raises(DistinguisherError):
+            classical_trail_complexity(9)
+
+
+class TestCubeRootSummary:
+    def test_fields(self):
+        summary = cube_root_summary(8)
+        assert summary["classical_log2"] == 52.0
+        assert summary["cube_root_log2"] == pytest.approx(52 / 3)
+        assert summary["online_exponent_ratio"] == pytest.approx(14.3 / 52)
+
+
+class TestDataclass:
+    def test_custom_values(self):
+        c = DistinguisherComplexity(offline_samples=1 << 20, online_samples=1 << 10)
+        assert c.offline_log2 == 20.0
+        assert c.online_log2 == 10.0
+
+    def test_invalid_counts(self):
+        c = DistinguisherComplexity(offline_samples=0, online_samples=1)
+        with pytest.raises(DistinguisherError):
+            _ = c.offline_log2

@@ -1,0 +1,107 @@
+"""Tests for the Gohr-style key recovery extension."""
+
+import numpy as np
+import pytest
+
+from repro.ciphers.speck import encrypt_batch, expand_key_batch
+from repro.core.key_recovery import (
+    RecoveryResult,
+    SpeckKeyRecovery,
+    decrypt_last_round,
+)
+from repro.errors import DistinguisherError
+
+KEY = (0x1918, 0x1110, 0x0908, 0x0100)
+
+
+class TestDecryptLastRound:
+    def test_inverts_one_round(self, rng):
+        pts = rng.integers(0, 1 << 16, size=(32, 2), dtype=np.uint16)
+        keys = rng.integers(0, 1 << 16, size=(32, 4), dtype=np.uint16)
+        rounds = 5
+        cts = encrypt_batch(pts, keys, rounds)
+        prev = encrypt_batch(pts, keys, rounds - 1)
+        last_keys = expand_key_batch(keys, rounds)[:, -1]
+        recovered = decrypt_last_round(cts, last_keys)
+        assert (recovered == prev).all()
+
+    def test_wrong_key_does_not_invert(self, rng):
+        pts = rng.integers(0, 1 << 16, size=(16, 2), dtype=np.uint16)
+        keys = rng.integers(0, 1 << 16, size=(16, 4), dtype=np.uint16)
+        cts = encrypt_batch(pts, keys, 4)
+        prev = encrypt_batch(pts, keys, 3)
+        wrong = expand_key_batch(keys, 4)[:, -1] ^ np.uint16(0x1234)
+        recovered = decrypt_last_round(cts, wrong)
+        assert (recovered != prev).any()
+
+
+class TestLastRoundKeyHelper:
+    def test_matches_schedule(self):
+        expected = expand_key_batch(
+            np.array([KEY], dtype=np.uint16), 7
+        )[0, -1]
+        assert SpeckKeyRecovery.last_round_key(KEY, 7) == int(expected)
+
+
+class TestRecoveryResult:
+    def test_rank_and_best(self):
+        result = RecoveryResult(
+            candidates=np.array([7, 3, 9], dtype=np.uint16),
+            scores=np.array([0.9, 0.8, 0.1]),
+            true_key=3,
+        )
+        assert result.best == 7
+        assert result.rank_of(3) == 1
+        assert result.true_key_rank == 1
+
+    def test_unknown_key_raises(self):
+        result = RecoveryResult(
+            candidates=np.array([1], dtype=np.uint16),
+            scores=np.array([0.5]),
+        )
+        with pytest.raises(DistinguisherError):
+            result.rank_of(2)
+        assert result.true_key_rank is None
+
+
+class TestAttack:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        recovery = SpeckKeyRecovery(attack_rounds=4, epochs=3, rng=5)
+        accuracy = recovery.train_distinguisher(20_000)
+        return recovery, accuracy
+
+    def test_distinguisher_learns(self, trained):
+        _, accuracy = trained
+        assert accuracy > 0.85
+
+    def test_true_subkey_ranks_high(self, trained):
+        recovery, _ = trained
+        result = recovery.attack(KEY, n_pairs=192, candidate_bits=8, rng=3)
+        assert result.true_key_rank is not None
+        # Top 5% of a 256-candidate sweep.
+        assert result.true_key_rank < 13
+
+    def test_scores_sorted(self, trained):
+        recovery, _ = trained
+        result = recovery.attack(KEY, n_pairs=64, candidate_bits=6, rng=4)
+        assert (np.diff(result.scores) <= 1e-12).all()
+
+    def test_score_before_training_rejected(self):
+        recovery = SpeckKeyRecovery(attack_rounds=4, rng=0)
+        with pytest.raises(DistinguisherError):
+            recovery.score_candidates(
+                np.zeros((2, 2), dtype=np.uint16),
+                np.zeros((2, 2), dtype=np.uint16),
+                np.array([0], dtype=np.uint16),
+            )
+
+    def test_invalid_construction(self):
+        with pytest.raises(DistinguisherError):
+            SpeckKeyRecovery(attack_rounds=1)
+
+    def test_invalid_candidate_bits(self, trained):
+        recovery, _ = trained
+        c0, c1 = recovery.collect_pairs(KEY, 8, rng=1)
+        with pytest.raises(DistinguisherError):
+            recovery.recover(c0, c1, candidate_bits=0)

@@ -1,0 +1,65 @@
+"""Tests for the oracle abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import CipherOracle, RandomOracle
+from repro.errors import DistinguisherError
+
+
+class TestCipherOracle:
+    def test_delegates(self):
+        oracle = CipherOracle(lambda inputs, context: inputs + 1)
+        out = oracle.query(np.array([[1, 2]]), None)
+        assert (out == [[2, 3]]).all()
+
+    def test_callable(self):
+        oracle = CipherOracle(lambda inputs, context: inputs)
+        assert (oracle(np.array([[7]])) == [[7]]).all()
+
+
+class TestRandomOracle:
+    def test_output_geometry(self, rng):
+        oracle = RandomOracle(output_words=4, word_width=32, rng=rng)
+        out = oracle.query(np.zeros((5, 2), dtype=np.uint32), None)
+        assert out.shape == (5, 4)
+        assert out.dtype == np.uint32
+
+    def test_memoized_consistency(self, rng):
+        """Same input twice must give the same answer — a random
+        *function*, not a random process."""
+        oracle = RandomOracle(output_words=2, rng=rng, memoize=True)
+        inputs = np.array([[1, 2], [1, 2], [3, 4]], dtype=np.uint32)
+        out = oracle.query(inputs, None)
+        assert (out[0] == out[1]).all()
+
+    def test_memoization_respects_context(self, rng):
+        oracle = RandomOracle(output_words=2, rng=rng, memoize=True)
+        inputs = np.array([[1, 2], [1, 2]], dtype=np.uint32)
+        context = np.array([[10], [20]], dtype=np.uint32)
+        out = oracle.query(inputs, context)
+        assert (out[0] != out[1]).any()
+
+    def test_unmemoized_is_fresh(self, rng):
+        oracle = RandomOracle(output_words=4, rng=rng, memoize=False)
+        inputs = np.zeros((2, 1), dtype=np.uint32)
+        a = oracle.query(inputs, None)
+        b = oracle.query(inputs, None)
+        assert (a != b).any()
+
+    def test_outputs_look_uniform(self, rng):
+        oracle = RandomOracle(output_words=1, word_width=8, rng=rng, memoize=False)
+        out = oracle.query(np.zeros((4096, 1), dtype=np.uint8), None)
+        counts = np.bincount(out.ravel(), minlength=256)
+        assert counts.min() > 0  # every byte value appears
+
+    def test_word_width_8(self, rng):
+        oracle = RandomOracle(output_words=2, word_width=8, rng=rng)
+        out = oracle.query(np.zeros((3, 1), dtype=np.uint8), None)
+        assert out.dtype == np.uint8
+
+    def test_invalid_construction(self):
+        with pytest.raises(DistinguisherError):
+            RandomOracle(output_words=0)
+        with pytest.raises(DistinguisherError):
+            RandomOracle(output_words=2, word_width=12)

@@ -1,0 +1,133 @@
+"""Tests for the distinguisher statistics (§3.1 formulas)."""
+
+import numpy as np
+import pytest
+
+from repro.core.statistics import (
+    accuracy_confidence_interval,
+    advantage,
+    binomial_pvalue,
+    decision_threshold,
+    expected_random_accuracy,
+    required_online_samples,
+)
+from repro.errors import DistinguisherError
+
+
+class TestExpectedRandomAccuracy:
+    @pytest.mark.parametrize("t", [2, 3, 4, 8, 32])
+    def test_formula_collapses_to_1_over_t(self, t):
+        """The paper's E/t formula equals 1/t (E = 1 for a uniform
+        guesser over t trials of probability 1/t... the expectation of
+        correct classifications out of t is 1)."""
+        assert expected_random_accuracy(t) == pytest.approx(1.0 / t)
+
+    def test_paper_examples(self):
+        """§3.1: 'if t = 2, expected training accuracy is 0.5; if
+        t = 32, 0.03125'."""
+        assert expected_random_accuracy(2) == pytest.approx(0.5)
+        assert expected_random_accuracy(32) == pytest.approx(0.03125)
+
+    def test_matches_simulation(self, rng):
+        t = 4
+        trials = 20000
+        guesses = rng.integers(0, t, size=(trials, t))
+        truth = np.arange(t)
+        accuracy = (guesses == truth).mean()
+        assert abs(accuracy - expected_random_accuracy(t)) < 0.01
+
+    def test_invalid_t(self):
+        with pytest.raises(DistinguisherError):
+            expected_random_accuracy(1)
+
+
+class TestAdvantage:
+    def test_baseline_zero(self):
+        assert advantage(0.5, 2) == 0.0
+
+    def test_positive(self):
+        assert advantage(0.52, 2) == pytest.approx(0.02)
+
+    def test_invalid(self):
+        with pytest.raises(DistinguisherError):
+            advantage(1.5, 2)
+
+
+class TestBinomialPvalue:
+    def test_extreme_counts(self):
+        assert binomial_pvalue(1000, 1000, 0.5) < 1e-100
+        assert binomial_pvalue(0, 1000, 0.5) == pytest.approx(1.0)
+
+    def test_exact_small_case(self):
+        # P(X >= 2) for Bin(2, 0.5) = 0.25.
+        assert binomial_pvalue(2, 2, 0.5) == pytest.approx(0.25)
+
+    def test_monotone_in_correct(self):
+        p_values = [binomial_pvalue(k, 100, 0.5) for k in (50, 60, 70)]
+        assert p_values == sorted(p_values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(DistinguisherError):
+            binomial_pvalue(5, 0, 0.5)
+        with pytest.raises(DistinguisherError):
+            binomial_pvalue(5, 4, 0.5)
+        with pytest.raises(DistinguisherError):
+            binomial_pvalue(1, 2, 1.0)
+
+
+class TestDecisionThreshold:
+    def test_midpoint(self):
+        assert decision_threshold(0.6, 2) == pytest.approx(0.55)
+
+    def test_rejects_at_baseline(self):
+        with pytest.raises(DistinguisherError):
+            decision_threshold(0.5, 2)
+
+
+class TestRequiredOnlineSamples:
+    def test_stronger_distinguisher_needs_fewer_samples(self):
+        strong = required_online_samples(0.9, 2)
+        weak = required_online_samples(0.52, 2)
+        assert strong < weak
+
+    def test_paper_regime(self):
+        """An accuracy like the paper's 8-round 0.5219 needs on the
+        order of 2^13..2^15 online samples — consistent with the quoted
+        2^14.3."""
+        n = required_online_samples(0.5219, 2, error_probability=0.001)
+        assert 2**12 < n < 2**16
+
+    def test_error_probability_monotone(self):
+        loose = required_online_samples(0.55, 2, error_probability=0.05)
+        tight = required_online_samples(0.55, 2, error_probability=0.001)
+        assert tight > loose
+
+    def test_validation(self):
+        with pytest.raises(DistinguisherError):
+            required_online_samples(0.4, 2)
+        with pytest.raises(DistinguisherError):
+            required_online_samples(0.6, 2, error_probability=0.7)
+
+
+class TestConfidenceInterval:
+    def test_contains_point_estimate(self):
+        low, high = accuracy_confidence_interval(60, 100)
+        assert low < 0.6 < high
+
+    def test_narrows_with_samples(self):
+        low1, high1 = accuracy_confidence_interval(60, 100)
+        low2, high2 = accuracy_confidence_interval(600, 1000)
+        assert (high2 - low2) < (high1 - low1)
+
+    def test_bounds_clamped(self):
+        low, high = accuracy_confidence_interval(0, 10)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        low, high = accuracy_confidence_interval(10, 10)
+        assert high == pytest.approx(1.0, abs=1e-12)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(DistinguisherError):
+            accuracy_confidence_interval(1, 0)
+        with pytest.raises(DistinguisherError):
+            accuracy_confidence_interval(1, 2, confidence=1.5)

@@ -1,0 +1,149 @@
+"""Tests for the all-in-one differential baselines."""
+
+import numpy as np
+import pytest
+
+from repro.ciphers.gift import Gift16
+from repro.ciphers.toyspeck import encrypt_batch
+from repro.diffcrypt.allinone import (
+    AllInOneDistribution,
+    bayes_accuracy,
+    empirical_distribution,
+    gift16_allinone,
+    gift16_markov_distribution,
+    toyspeck_allinone,
+    toyspeck_markov_distribution,
+)
+from repro.errors import CipherError
+
+
+class TestToySpeckDistribution:
+    def test_is_distribution(self):
+        dist = toyspeck_markov_distribution(0x0040, 2)
+        assert abs(dist.sum() - 1.0) < 1e-9
+        assert (dist >= 0).all()
+
+    def test_zero_rounds_point_mass(self):
+        dist = toyspeck_markov_distribution(0x1234, 0)
+        assert dist[0x1234] == 1.0
+
+    def test_one_round_matches_kernel(self):
+        from repro.ciphers.toyspeck import round_difference_kernel
+
+        delta = 0x0040
+        assert np.allclose(
+            toyspeck_markov_distribution(delta, 1), round_difference_kernel(delta)
+        )
+
+    def test_one_round_matches_sampling(self, rng):
+        """One-round Markov propagation is exact (no assumption yet):
+        sampled differences must follow it."""
+        delta = 0x2100
+        dist = toyspeck_markov_distribution(delta, 1)
+        n = 1 << 13
+        pts = rng.integers(0, 256, size=(n, 2), dtype=np.uint8)
+        keys = rng.integers(0, 256, size=(n, 4), dtype=np.uint8)
+        partner = pts.copy()
+        partner[:, 0] ^= (delta >> 8) & 0xFF
+        partner[:, 1] ^= delta & 0xFF
+        a = encrypt_batch(pts, keys, 1)
+        b = encrypt_batch(partner, keys, 1)
+        observed = (
+            (a[:, 0].astype(np.int64) ^ b[:, 0]) << 8
+        ) | (a[:, 1].astype(np.int64) ^ b[:, 1])
+        emp = empirical_distribution(observed, 1 << 16)
+        # Total variation between exact and empirical should be small.
+        tv = 0.5 * np.abs(dist - emp).sum()
+        assert tv < 0.15
+
+    def test_pruning_keeps_distribution(self):
+        dist = toyspeck_markov_distribution(0x0040, 3, max_active=64)
+        assert abs(dist.sum() - 1.0) < 1e-9
+
+    def test_invalid_delta(self):
+        with pytest.raises(CipherError):
+            toyspeck_markov_distribution(1 << 16, 1)
+        with pytest.raises(CipherError):
+            toyspeck_markov_distribution(1, -1)
+
+
+class TestGift16Distribution:
+    def test_is_distribution(self):
+        dist = gift16_markov_distribution(0x0001, 3)
+        assert abs(dist.sum() - 1.0) < 1e-9
+        assert (dist >= 0).all()
+
+    def test_one_round_matches_sampling(self, rng):
+        """With uniform round keys, Gift16 is exactly Markov — the
+        computed distribution must match sampled differences."""
+        delta = 0x0003
+        dist = gift16_markov_distribution(delta, 2)
+        n = 1 << 13
+        cipher = Gift16(rounds=2)
+        pts = rng.integers(0, 1 << 16, size=(n,), dtype=np.uint16)
+        keys = rng.integers(0, 1 << 16, size=(n, 2), dtype=np.uint16)
+        a = cipher.encrypt(pts, keys)[:, 0]
+        b = cipher.encrypt(pts ^ np.uint16(delta), keys)[:, 0]
+        observed = (a ^ b).astype(np.int64)
+        emp = empirical_distribution(observed, 1 << 16)
+        tv = 0.5 * np.abs(dist - emp).sum()
+        assert tv < 0.2
+
+    def test_diffusion_spreads_mass(self):
+        one = gift16_markov_distribution(0x0001, 1)
+        four = gift16_markov_distribution(0x0001, 4)
+        assert np.count_nonzero(four) > np.count_nonzero(one)
+
+
+class TestAllInOneDistribution:
+    def test_bayes_accuracy_bounds(self):
+        d = toyspeck_allinone([0x0040, 0x2000], 2)
+        acc = d.bayes_accuracy()
+        assert d.random_accuracy() <= acc <= 1.0
+
+    def test_identical_rows_give_random_accuracy(self):
+        row = np.full(16, 1 / 16)
+        d = AllInOneDistribution(np.stack([row, row]))
+        assert d.bayes_accuracy() == pytest.approx(0.5)
+        assert d.advantage_vs_random() == pytest.approx(0.0)
+
+    def test_disjoint_rows_give_perfect_accuracy(self):
+        a = np.zeros(8)
+        a[:4] = 0.25
+        b = np.zeros(8)
+        b[4:] = 0.25
+        d = AllInOneDistribution(np.stack([a, b]))
+        assert d.bayes_accuracy() == 1.0
+
+    def test_classify(self):
+        a = np.array([0.9, 0.1])
+        b = np.array([0.2, 0.8])
+        d = AllInOneDistribution(np.stack([a, b]))
+        assert list(d.classify([0, 1])) == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(CipherError):
+            AllInOneDistribution(np.ones((2, 4)))  # rows don't sum to 1
+        with pytest.raises(CipherError):
+            AllInOneDistribution(np.ones(4) / 4)  # not 2-D
+
+    def test_bayes_accuracy_helper(self):
+        rows = np.stack([np.full(4, 0.25), np.full(4, 0.25)])
+        assert bayes_accuracy(rows) == pytest.approx(0.5)
+
+
+class TestAccuracyDecaysWithRounds:
+    def test_more_rounds_less_advantage(self):
+        d2 = gift16_allinone([0x0001, 0x0010], 2)
+        d6 = gift16_allinone([0x0001, 0x0010], 6)
+        assert d6.bayes_accuracy() <= d2.bayes_accuracy() + 1e-9
+
+
+class TestEmpiricalDistribution:
+    def test_histogram(self):
+        dist = empirical_distribution(np.array([0, 0, 1, 3]), 4)
+        assert list(dist) == [0.5, 0.25, 0.0, 0.25]
+
+    def test_empty_raises(self):
+        with pytest.raises(CipherError):
+            empirical_distribution(np.array([], dtype=np.int64), 4)

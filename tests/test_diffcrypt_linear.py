@@ -1,0 +1,97 @@
+"""Tests for the linear-cryptanalysis substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ciphers.gift import GIFT_SBOX
+from repro.diffcrypt.linear import (
+    correlation_table,
+    gift16_best_linear_trail,
+    gift16_cryptanalytic_panorama,
+    gift16_linear_weight_vector,
+    linear_weight_table,
+)
+from repro.diffcrypt.sbox import SBox
+from repro.errors import SearchError
+
+
+class TestCorrelationTable:
+    def test_trivial_entry(self):
+        table = correlation_table()
+        assert table[0, 0] == 1.0
+        assert np.allclose(table[0, 1:], 0.0)
+        assert np.allclose(table[1:, 0], 0.0)
+
+    def test_matches_lat(self):
+        """Correlation = LAT bias * 2 / size."""
+        table = correlation_table()
+        lat = SBox(GIFT_SBOX).lat
+        assert np.allclose(table, 2.0 * lat / 16.0)
+
+    def test_parseval(self):
+        """Rows of the squared correlation table sum to 1 (Parseval)."""
+        table = correlation_table()
+        assert np.allclose((table**2).sum(axis=1), 1.0)
+
+    def test_gift_max_correlation(self):
+        """The GIFT S-box has linearity 8, i.e. max |c| = 1/2."""
+        table = np.abs(correlation_table())
+        table[0, 0] = 0.0
+        assert table.max() == pytest.approx(0.5)
+
+
+class TestWeightTable:
+    def test_best_nontrivial_weight_is_one(self):
+        weights = linear_weight_table()
+        weights[0, 0] = math.inf
+        assert weights.min() == pytest.approx(1.0)
+
+    def test_zero_correlation_is_inf(self):
+        table = correlation_table()
+        weights = linear_weight_table()
+        zero = np.argwhere(table == 0.0)
+        a, b = zero[0]
+        assert math.isinf(weights[a, b])
+
+
+class TestBestTrails:
+    def test_one_round(self):
+        summary = gift16_best_linear_trail(1)
+        assert summary.weight == pytest.approx(1.0)
+        assert summary.correlation == pytest.approx(0.5)
+        assert summary.data_complexity == pytest.approx(4.0)
+
+    def test_weights_nondecreasing(self):
+        previous = 0.0
+        for rounds in (1, 2, 3, 4):
+            weight = gift16_best_linear_trail(rounds).weight
+            assert weight >= previous - 1e-9
+            previous = weight
+
+    def test_fixed_mask_never_beats_global(self):
+        global_best = gift16_best_linear_trail(3).weight
+        fixed = float(gift16_linear_weight_vector(3, input_mask=0x0001).min())
+        assert fixed >= global_best - 1e-9
+
+    def test_invalid_args(self):
+        with pytest.raises(SearchError):
+            gift16_linear_weight_vector(0)
+        with pytest.raises(SearchError):
+            gift16_linear_weight_vector(1, input_mask=0)
+
+
+class TestPanorama:
+    def test_all_three_costs_present(self):
+        row = gift16_cryptanalytic_panorama(3)
+        assert row["differential_trail_log2"] > 0
+        assert row["linear_trail_log2"] > 0
+        assert row["allinone_online_log2"] > 0
+
+    def test_allinone_beats_single_trails_at_depth(self):
+        """At 4 rounds the exact all-in-one needs less data than either
+        single-trail method — the gap the ML model taps into."""
+        row = gift16_cryptanalytic_panorama(4)
+        assert row["allinone_online_log2"] < row["differential_trail_log2"]
+        assert row["allinone_online_log2"] < row["linear_trail_log2"]

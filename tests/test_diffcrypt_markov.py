@@ -1,0 +1,69 @@
+"""Tests for the Markov-cipher analysis (§2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.ciphers.toygift import PAPER_TRAIL, ToyGift, nibbles_to_byte
+from repro.diffcrypt.markov import (
+    conditional_difference_distribution,
+    figure1_demonstration,
+    markov_violation,
+    markov_violation_toygift,
+)
+
+
+class TestConditionalDistribution:
+    def test_rows_are_distributions(self):
+        toy = ToyGift()
+        table = conditional_difference_distribution(toy.round1, 0x23, 8)
+        assert table.shape == (256, 256)
+        assert np.allclose(table.sum(axis=1), 1.0)
+
+    def test_unkeyed_round_is_deterministic_per_gamma(self):
+        toy = ToyGift()
+        table = conditional_difference_distribution(toy.round1, 0x23, 8)
+        # Each row is a point mass.
+        assert np.allclose(table.max(axis=1), 1.0)
+
+
+class TestMarkovViolation:
+    def test_keyed_xor_round_is_markov(self):
+        """A round that is pure key-XOR has zero violation: the output
+        difference equals the input difference for every input."""
+
+        def xor_round(x):
+            return x ^ 0x5A
+
+        assert markov_violation(xor_round, 0x23, 8) == 0.0
+
+    def test_toygift_violation_large(self):
+        violation = markov_violation_toygift()
+        assert violation > 0.9
+
+    def test_violation_bounded(self):
+        assert markov_violation_toygift() <= 1.0
+
+    def test_custom_delta(self):
+        v = markov_violation_toygift(delta_in=0x01)
+        assert 0.0 <= v <= 1.0
+
+
+class TestFigure1Demonstration:
+    def test_all_paper_numbers(self):
+        demo = figure1_demonstration()
+        assert demo["exact_probability"] == pytest.approx(2.0**-6)
+        assert demo["markov_probability"] == pytest.approx(2.0**-9)
+        assert demo["exact_weight"] == pytest.approx(6.0)
+        assert demo["markov_weight"] == pytest.approx(9.0)
+        assert demo["ratio"] == pytest.approx(8.0)
+
+    def test_round1_probability_quoted(self):
+        """§2.1: 'the probability of ΔY1 -> ΔW1 is 2^-5'."""
+        demo = figure1_demonstration()
+        assert demo["round1_probability"] == pytest.approx(2.0**-5)
+
+    def test_trail_constants(self):
+        assert nibbles_to_byte(PAPER_TRAIL["delta_y1"]) == 0x23
+        assert nibbles_to_byte(PAPER_TRAIL["delta_w1"]) == 0x58
+        assert nibbles_to_byte(PAPER_TRAIL["delta_y2"]) == 0x62
+        assert nibbles_to_byte(PAPER_TRAIL["delta_w2"]) == 0x25

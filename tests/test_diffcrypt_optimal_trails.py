@@ -1,0 +1,125 @@
+"""Tests for the exact Gift16 optimal-characteristic DP."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ciphers.gift import GIFT_SBOX
+from repro.diffcrypt.optimal_trails import (
+    exhibit_trail,
+    gift16_optimal_weight,
+    gift16_trail_vs_allinone,
+    gift16_weight_vector,
+    sbox_weight_table,
+)
+from repro.diffcrypt.sbox import SBox
+from repro.errors import SearchError
+
+
+class TestSboxWeightTable:
+    def test_trivial_transition_free(self):
+        table = sbox_weight_table()
+        assert table[0, 0] == 0.0
+
+    def test_impossible_is_inf(self):
+        table = sbox_weight_table()
+        sbox = SBox(GIFT_SBOX)
+        impossible = np.argwhere(sbox.ddt == 0)
+        a, b = impossible[1]
+        assert math.isinf(table[a, b])
+
+    def test_matches_ddt(self):
+        table = sbox_weight_table()
+        sbox = SBox(GIFT_SBOX)
+        assert table[2, 5] == pytest.approx(-math.log2(4 / 16))
+        assert table[3, 8] == pytest.approx(-math.log2(2 / 16))
+
+
+class TestWeightVector:
+    def test_one_round_best_is_sbox_minimum(self):
+        """A single-nibble input's best 1-round weight equals the best
+        S-box transition weight from that nibble."""
+        table = sbox_weight_table()
+        for nibble in (1, 5, 0xA):
+            vector = gift16_weight_vector(1, nibble)
+            assert vector.min() == pytest.approx(table[nibble].min())
+
+    def test_zero_diff_unreachable_from_nonzero(self):
+        vector = gift16_weight_vector(3, 0x0001)
+        assert math.isinf(vector[0])
+
+    def test_weights_superadditive(self):
+        """Optimal r+1-round weight >= optimal r-round weight."""
+        previous = 0.0
+        for rounds in (1, 2, 3, 4):
+            current = gift16_optimal_weight(rounds).optimal_weight
+            assert current >= previous - 1e-9
+            previous = current
+
+    def test_invalid_args(self):
+        with pytest.raises(SearchError):
+            gift16_weight_vector(0)
+        with pytest.raises(SearchError):
+            gift16_weight_vector(1, 0)
+
+
+class TestOptimalWeight:
+    def test_one_round_value(self):
+        """The GIFT S-box's best non-trivial transition has probability
+        6/16, so the 1-round optimum is -log2(6/16)."""
+        summary = gift16_optimal_weight(1)
+        assert summary.optimal_weight == pytest.approx(-math.log2(6 / 16))
+
+    def test_witness_reaches_claimed_weight(self):
+        summary = gift16_optimal_weight(2)
+        vector = gift16_weight_vector(2, summary.best_input_difference)
+        assert vector[summary.best_output_difference] == pytest.approx(
+            summary.optimal_weight
+        )
+
+    def test_fixed_input_never_beats_global(self):
+        global_summary = gift16_optimal_weight(3)
+        fixed = gift16_optimal_weight(3, input_diff=0x0001)
+        assert fixed.optimal_weight >= global_summary.optimal_weight - 1e-9
+
+    def test_data_complexity(self):
+        summary = gift16_optimal_weight(2)
+        assert summary.single_trail_data_complexity == pytest.approx(
+            2.0**summary.optimal_weight
+        )
+
+    def test_optimal_weight_consistent_with_allinone(self):
+        """The all-in-one distribution's heaviest output difference can
+        never be *more* probable than ... the best characteristic bounds
+        it from below: P(best diff) >= 2^-w_opt for the same input."""
+        from repro.diffcrypt.allinone import gift16_markov_distribution
+
+        summary = gift16_optimal_weight(2, input_diff=0x000C)
+        dist = gift16_markov_distribution(0x000C, 2)
+        best_prob = dist.max()
+        assert best_prob >= 2.0**-summary.optimal_weight - 1e-12
+
+
+class TestTrailVsAllInOne:
+    def test_allinone_cheaper_than_single_trail(self):
+        """The paper's claim, exact: the all-in-one online complexity is
+        below the single-characteristic 2^w for every round count."""
+        for rounds in (2, 3, 4):
+            row = gift16_trail_vs_allinone(rounds, (0x0001, 0x0010))
+            assert row["allinone_online_log2"] < row[
+                "single_trail_complexity_log2"
+            ] + 2.0  # within the same ballpark or better
+        row4 = gift16_trail_vs_allinone(4, (0x0001, 0x0010))
+        assert row4["allinone_online_log2"] < row4["single_trail_complexity_log2"]
+
+
+class TestExhibitTrail:
+    def test_length_and_start(self):
+        trail = exhibit_trail(3, 0x000A)
+        assert len(trail) == 4
+        assert trail[0] == 0x000A
+
+    def test_all_diffs_nonzero(self):
+        trail = exhibit_trail(4, 0x0001)
+        assert all(d != 0 for d in trail)

@@ -1,0 +1,107 @@
+"""Tests for SBox analysis: DDT, LAT, branch number, paper anchors."""
+
+import numpy as np
+import pytest
+
+from repro.ciphers.gift import GIFT_SBOX
+from repro.diffcrypt.sbox import SBox
+from repro.errors import CipherError
+
+
+@pytest.fixture(scope="module")
+def gift():
+    return SBox(GIFT_SBOX)
+
+
+class TestConstruction:
+    def test_non_power_of_two_raises(self):
+        with pytest.raises(CipherError):
+            SBox([0, 1, 2])
+
+    def test_out_of_range_entry_raises(self):
+        with pytest.raises(CipherError):
+            SBox([0, 1, 2, 4])
+
+    def test_bits(self, gift):
+        assert gift.bits == 4
+        assert gift.size == 16
+
+
+class TestDDT:
+    def test_row_sums(self, gift):
+        assert (gift.ddt.sum(axis=1) == 16).all()
+
+    def test_trivial_entry(self, gift):
+        assert gift.ddt[0, 0] == 16
+        assert (gift.ddt[0, 1:] == 0).all()
+
+    def test_entries_even(self, gift):
+        assert (gift.ddt % 2 == 0).all()
+
+    def test_paper_quoted_transitions(self, gift):
+        """§2.1: P(2 -> 5) has 4 solutions, P(3 -> 8) has 2."""
+        assert gift.ddt[2, 5] == 4
+        assert gift.ddt[3, 8] == 2
+        assert gift.ddt[6, 2] == 4
+
+    def test_paper_quoted_tuples(self, gift):
+        """§2.1 lists the valid tuples explicitly."""
+        uppers = [x for x, _ in gift.valid_input_pairs(2, 5)]
+        lowers = [x for x, _ in gift.valid_input_pairs(3, 8)]
+        assert uppers == [0, 2, 4, 6]
+        assert lowers == [0xD, 0xE]
+
+    def test_probability(self, gift):
+        assert gift.differential_probability(2, 5) == 4 / 16
+        assert gift.differential_weight(2, 5) == 2.0
+
+    def test_impossible_weight(self, gift):
+        impossible = np.argwhere(gift.ddt[1:] == 0)
+        a, b = impossible[0]
+        assert gift.differential_weight(int(a) + 1, int(b)) == float("inf")
+
+
+class TestUniformityAndBranch:
+    def test_gift_uniformity_is_6(self, gift):
+        assert gift.differential_uniformity == 6
+
+    def test_branch_number(self, gift):
+        # Any bijective 4-bit S-box has branch number >= 2.
+        assert gift.differential_branch_number >= 2
+
+    def test_identity_branch_number(self):
+        identity = SBox(list(range(16)))
+        assert identity.differential_branch_number == 2
+
+
+class TestLAT:
+    def test_zero_row(self, gift):
+        assert gift.lat[0, 0] == 8
+        assert (gift.lat[0, 1:] == 0).all()
+
+    def test_bounded(self, gift):
+        assert np.abs(gift.lat).max() <= 8
+
+
+class TestInverse:
+    def test_inverse_composition(self, gift):
+        inv = gift.inverse
+        for x in range(16):
+            assert inv(gift(x)) == x
+
+    def test_non_permutation_has_no_inverse(self):
+        with pytest.raises(CipherError):
+            SBox([0] * 16).inverse
+
+    def test_is_permutation_flag(self, gift):
+        assert gift.is_permutation
+        assert not SBox([0] * 16).is_permutation
+
+
+class TestFixedPoints:
+    def test_gift_fixed_points(self, gift):
+        expected = tuple(x for x in range(16) if GIFT_SBOX[x] == x)
+        assert gift.fixed_points == expected
+
+    def test_identity_all_fixed(self):
+        assert SBox(list(range(4))).fixed_points == (0, 1, 2, 3)

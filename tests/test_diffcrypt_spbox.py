@@ -1,0 +1,119 @@
+"""Tests for the exact Gimli SP-box differential probability engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers.gimli import spbox_column
+from repro.diffcrypt.spbox import (
+    spbox_apply,
+    spbox_deterministic_output,
+    spbox_differential_probability,
+    spbox_monte_carlo_probability,
+)
+from repro.errors import CipherError
+from repro.utils.bitops import rotl32
+
+word = st.integers(0, 2**32 - 1)
+sparse_bit = st.integers(0, 31)
+
+
+class TestSpboxApply:
+    @given(word, word, word)
+    def test_matches_cipher_implementation(self, a, b, c):
+        """spbox_apply must equal the SP-box used inside gimli_round."""
+        expected = spbox_column(rotl32(a, 24), rotl32(b, 9), c)
+        assert spbox_apply((a, b, c)) == expected
+
+
+class TestExactProbability:
+    def test_zero_to_zero(self):
+        assert spbox_differential_probability((0, 0, 0), (0, 0, 0)) == 1.0
+
+    def test_zero_to_nonzero_impossible(self):
+        assert spbox_differential_probability((0, 0, 0), (1, 0, 0)) == 0.0
+
+    def test_probability_range(self):
+        p = spbox_differential_probability((1, 2, 3), (3, 2, 1))
+        assert 0.0 <= p <= 1.0
+
+    def test_observed_transition_has_positive_probability(self, rng):
+        """A difference observed on a real pair cannot be impossible."""
+        for _ in range(5):
+            din = tuple(int(x) for x in rng.integers(0, 2**32, 3))
+            col = tuple(int(x) for x in rng.integers(0, 2**32, 3))
+            o1 = spbox_apply(col)
+            o2 = spbox_apply(tuple(c ^ d for c, d in zip(col, din)))
+            dout = tuple(a ^ b for a, b in zip(o1, o2))
+            assert spbox_differential_probability(din, dout) > 0.0
+
+    @pytest.mark.parametrize("bit", [0, 5, 13, 21, 31])
+    def test_matches_monte_carlo_sparse(self, bit, rng):
+        din = (1 << bit, 0, 0)
+        col = tuple(int(x) for x in rng.integers(0, 2**32, 3))
+        o1 = spbox_apply(col)
+        o2 = spbox_apply(tuple(c ^ d for c, d in zip(col, din)))
+        dout = tuple(a ^ b for a, b in zip(o1, o2))
+        exact = spbox_differential_probability(din, dout)
+        estimate = spbox_monte_carlo_probability(din, dout, samples=1 << 16, rng=rng)
+        assert abs(exact - estimate) < 0.02
+
+    def test_probabilities_sum_over_observed_outputs(self, rng):
+        """For a sparse input diff, summing the exact DP over all outputs
+        observed in sampling must not exceed 1."""
+        din = (1 << 3, 0, 0)
+        outputs = set()
+        for _ in range(200):
+            col = tuple(int(x) for x in rng.integers(0, 2**32, 3))
+            o1 = spbox_apply(col)
+            o2 = spbox_apply(tuple(c ^ d for c, d in zip(col, din)))
+            outputs.add(tuple(a ^ b for a, b in zip(o1, o2)))
+        total = sum(spbox_differential_probability(din, d) for d in outputs)
+        assert total <= 1.0 + 1e-9
+
+    def test_invalid_shapes(self):
+        with pytest.raises(CipherError):
+            spbox_differential_probability((0, 0), (0, 0, 0))
+
+
+class TestDeterministicOutput:
+    @pytest.mark.parametrize(
+        "diff",
+        [
+            (1 << 7, 0, 0),
+            (0, 1 << 21, 0),
+            (0, 1 << 22, 0),
+            (0, 0, 1 << 31),
+            (1 << 7, (1 << 21) | (1 << 22), 1 << 31),
+        ],
+    )
+    def test_safe_bits_deterministic(self, diff):
+        out = spbox_deterministic_output(diff)
+        assert out is not None
+        assert spbox_differential_probability(diff, out) == 1.0
+
+    def test_deterministic_matches_real_pairs(self, rng):
+        diff = (1 << 7, 0, 0)
+        out = spbox_deterministic_output(diff)
+        for _ in range(20):
+            col = tuple(int(x) for x in rng.integers(0, 2**32, 3))
+            o1 = spbox_apply(col)
+            o2 = spbox_apply(tuple(c ^ d for c, d in zip(col, diff)))
+            assert tuple(a ^ b for a, b in zip(o1, o2)) == out
+
+    def test_unsafe_bit_not_deterministic(self):
+        assert spbox_deterministic_output((1, 0, 0)) is None
+
+    def test_zero_diff_deterministic_to_zero(self):
+        assert spbox_deterministic_output((0, 0, 0)) == (0, 0, 0)
+
+
+class TestMonteCarlo:
+    def test_zero_diff(self, rng):
+        p = spbox_monte_carlo_probability((0, 0, 0), (0, 0, 0), samples=256, rng=rng)
+        assert p == 1.0
+
+    def test_impossible(self, rng):
+        p = spbox_monte_carlo_probability((0, 0, 0), (1, 0, 0), samples=256, rng=rng)
+        assert p == 0.0

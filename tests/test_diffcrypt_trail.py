@@ -1,0 +1,65 @@
+"""Tests for DifferentialTrail and the Table 1 reference weights."""
+
+import math
+
+import pytest
+
+from repro.diffcrypt.trail import GIMLI_OPTIMAL_WEIGHTS, DifferentialTrail
+from repro.errors import CipherError
+
+
+class TestReferenceWeights:
+    def test_paper_table1_values(self):
+        assert GIMLI_OPTIMAL_WEIGHTS == {
+            1: 0, 2: 0, 3: 2, 4: 6, 5: 12, 6: 22, 7: 36, 8: 52
+        }
+
+    def test_monotone(self):
+        weights = [GIMLI_OPTIMAL_WEIGHTS[r] for r in sorted(GIMLI_OPTIMAL_WEIGHTS)]
+        assert weights == sorted(weights)
+
+
+class TestTrailConstruction:
+    def test_basic(self):
+        trail = DifferentialTrail(((1, 0), (0, 1)), (0.5,))
+        assert trail.rounds == 1
+        assert trail.input_difference == (1, 0)
+        assert trail.output_difference == (0, 1)
+
+    def test_probability_product(self):
+        trail = DifferentialTrail(((1,), (2,), (3,)), (0.5, 0.25))
+        assert trail.probability == 0.125
+        assert trail.weight == 3.0
+
+    def test_zero_probability_weight_inf(self):
+        trail = DifferentialTrail(((1,), (2,)), (0.0,))
+        assert trail.weight == math.inf
+        assert trail.data_complexity() == math.inf
+
+    def test_data_complexity(self):
+        trail = DifferentialTrail(((1,), (2,)), (2.0**-52,))
+        assert trail.data_complexity() == 2.0**52
+
+    def test_extend(self):
+        trail = DifferentialTrail(((1,),))
+        extended = trail.extend((2,), 0.5)
+        assert extended.rounds == 1
+        assert extended.probability == 0.5
+        # Original unchanged (frozen dataclass).
+        assert trail.rounds == 0
+
+    def test_probability_count_mismatch(self):
+        with pytest.raises(CipherError):
+            DifferentialTrail(((1,), (2,)), (0.5, 0.5))
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(CipherError):
+            DifferentialTrail(((1,), (2,)), (1.5,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(CipherError):
+            DifferentialTrail(())
+
+    def test_single_difference_is_zero_rounds(self):
+        assert DifferentialTrail(((1, 2),)).rounds == 0
+        assert DifferentialTrail(((1, 2),)).probability == 1.0

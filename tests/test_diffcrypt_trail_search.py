@@ -1,0 +1,141 @@
+"""Tests for the Gimli trail search (Table 1 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.ciphers.gimli import gimli_permute_batch
+from repro.diffcrypt.trail_search import (
+    beam_search_trail,
+    column_transitions,
+    default_seeds,
+    find_weight_zero_trails,
+    greedy_trail,
+    propagate_deterministic,
+    round_differential_probability,
+    safe_column_diffs,
+)
+from repro.errors import SearchError
+
+
+class TestSafeColumnDiffs:
+    def test_count(self):
+        # 2 * 4 * 2 - 1 = 15 non-zero safe column diffs.
+        assert len(safe_column_diffs()) == 15
+
+    def test_all_nonzero(self):
+        assert all(d != (0, 0, 0) for d in safe_column_diffs())
+
+
+class TestWeightZeroSearch:
+    def test_one_round_exists(self):
+        trails = find_weight_zero_trails(1, max_active_columns=1)
+        assert trails
+        for trail in trails:
+            assert trail.weight == 0.0
+
+    def test_two_rounds_exist(self):
+        """Table 1: the optimal 2-round weight is 0 — exhibit it."""
+        trails = find_weight_zero_trails(2, max_active_columns=1)
+        assert trails
+
+    def test_three_rounds_empty(self):
+        """Table 1: weight 2 at 3 rounds, so no probability-1 trail."""
+        assert find_weight_zero_trails(3, max_active_columns=1) == []
+
+    def test_trails_verified_on_permutation(self, rng):
+        trail = find_weight_zero_trails(2, max_active_columns=1)[0]
+        states = rng.integers(0, 2**32, size=(128, 12), dtype=np.uint64).astype(
+            np.uint32
+        )
+        din = np.array(trail.input_difference, dtype=np.uint32)
+        dout = np.array(trail.output_difference, dtype=np.uint32)
+        a = gimli_permute_batch(states, 2)
+        b = gimli_permute_batch(states ^ din, 2)
+        assert ((a ^ b) == dout).all(axis=1).all()
+
+    def test_invalid_rounds(self):
+        with pytest.raises(SearchError):
+            find_weight_zero_trails(0)
+
+
+class TestColumnTransitions:
+    def test_zero_diff(self):
+        (out, p), = column_transitions((0, 0, 0))
+        assert out == (0, 0, 0)
+        assert p == 1.0
+
+    def test_best_probability_positive(self):
+        (out, p), = column_transitions((1, 2, 3))
+        assert 0.0 < p <= 1.0
+
+    def test_variants_ranked(self):
+        results = column_transitions((1, 2, 3), variants=3)
+        probs = [p for _, p in results]
+        assert probs[0] == max(probs)
+        assert len(results) <= 3
+
+    def test_best_is_optimal_among_observed(self, rng):
+        """No sampled real transition beats the claimed optimum."""
+        from repro.diffcrypt.spbox import spbox_apply
+
+        din = (1 << 4, 0, 0)
+        (_, best_p), = column_transitions(din)
+        from repro.diffcrypt.spbox import spbox_differential_probability
+
+        for _ in range(50):
+            col = tuple(int(x) for x in rng.integers(0, 2**32, 3))
+            o1 = spbox_apply(col)
+            o2 = spbox_apply(tuple(c ^ d for c, d in zip(col, din)))
+            dout = tuple(a ^ b for a, b in zip(o1, o2))
+            assert spbox_differential_probability(din, dout) <= best_p + 1e-12
+
+
+class TestRoundProbability:
+    def test_deterministic_round_probability_one(self):
+        trail = find_weight_zero_trails(1, max_active_columns=1)[0]
+        p = round_differential_probability(
+            trail.differences[0], trail.differences[1], 24
+        )
+        assert p == 1.0
+
+    def test_impossible_round(self):
+        din = tuple([0] * 12)
+        dout = tuple([1] + [0] * 11)
+        assert round_differential_probability(din, dout, 24) == 0.0
+
+
+class TestGreedyAndBeam:
+    def test_greedy_weight_matches_probabilities(self):
+        seed = tuple([1 << 7] + [0] * 11)
+        trail = greedy_trail(seed, 2)
+        assert trail.rounds == 2
+        assert trail.weight >= 0.0
+
+    def test_beam_finds_three_round_weight_2(self):
+        """Table 1: optimal 3-round weight is 2; the beam search
+        exhibits a weight-2 trail."""
+        trail = beam_search_trail(default_seeds(), 3, beam_width=24, variants=3)
+        assert trail.weight == pytest.approx(2.0)
+
+    def test_beam_no_seeds_raises(self):
+        with pytest.raises(SearchError):
+            beam_search_trail([], 2)
+
+    def test_wide_beam_never_worse_than_greedy(self):
+        """With variants=1 and a beam wider than the seed count, the beam
+        contains every greedy trajectory, so its best weight cannot be
+        worse than greedy's."""
+        seeds = default_seeds()[:40]
+        greedy_best = min(greedy_trail(s, 2).weight for s in seeds)
+        beam = beam_search_trail(seeds, 2, beam_width=len(seeds), variants=1)
+        assert beam.weight <= greedy_best + 1e-9
+
+
+class TestPropagateDeterministic:
+    def test_unsafe_diff_fails(self):
+        assert propagate_deterministic(tuple([1] + [0] * 11), 1) is None
+
+    def test_safe_diff_propagates(self):
+        trail = propagate_deterministic(tuple([1 << 7] + [0] * 11), 1)
+        assert trail is not None
+        assert trail.probability == 1.0

@@ -1,0 +1,56 @@
+"""Smoke tests for the extension experiments in the registry."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+class TestPanorama:
+    def test_runs_and_orders(self):
+        result = run_experiment("panorama", rounds=(2, 3))
+        assert result["experiment"] == "panorama"
+        assert len(result["rows"]) == 2
+        for row in result["rows"]:
+            assert row["differential_trail_log2"] > 0
+            assert row["linear_trail_log2"] > 0
+
+
+class TestKeyRecoveryExperiment:
+    def test_small_run(self):
+        result = run_experiment(
+            "key-recovery",
+            train_samples=12_000,
+            n_pairs=96,
+            candidate_bits=6,
+            rng=5,
+        )
+        row = result["rows"][0]
+        assert row["distinguisher_accuracy"] > 0.85
+        assert row["candidates"] == 64
+        # True key well inside the top half.
+        assert row["true_key_rank"] < 16
+
+
+class TestRegistryCompleteness:
+    def test_new_entries_registered(self):
+        assert "panorama" in EXPERIMENTS
+        assert "key-recovery" in EXPERIMENTS
+
+    def test_every_entry_callable(self):
+        for name, func in EXPERIMENTS.items():
+            assert callable(func), name
+
+
+class TestCliListsExtensions:
+    def test_argparse_accepts_panorama(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["panorama"]) == 0
+        out = capsys.readouterr().out
+        assert "panorama" in out
+
+    def test_argparse_rejects_unknown(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])

@@ -1,0 +1,138 @@
+"""Tests for BatchNorm, ResidualBlock, Transpose12 and Gohr's resnet."""
+
+import numpy as np
+import pytest
+
+from nn_helpers import layer_gradient_check
+from repro.errors import LayerError
+from repro.nn.blocks import BatchNorm, ResidualBlock, Transpose12, gohr_resnet
+from repro.nn.layers import Dense, ReLU
+
+
+class TestBatchNorm:
+    def test_training_normalises(self, rng):
+        layer = BatchNorm()
+        layer.build((5,), rng)
+        x = rng.normal(loc=3.0, scale=2.0, size=(256, 5))
+        out = layer.forward(x, training=True)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_running_statistics_converge(self, rng):
+        layer = BatchNorm(momentum=0.5)
+        layer.build((3,), rng)
+        for _ in range(50):
+            layer.forward(rng.normal(loc=2.0, size=(64, 3)), training=True)
+        assert np.allclose(layer.running_mean, 2.0, atol=0.3)
+
+    def test_inference_uses_running_stats(self, rng):
+        layer = BatchNorm()
+        layer.build((3,), rng)
+        layer.forward(rng.normal(size=(64, 3)), training=True)
+        x = rng.normal(size=(4, 3))
+        a = layer.forward(x, training=False)
+        b = layer.forward(x, training=False)
+        assert np.allclose(a, b)
+
+    def test_gamma_beta_learned_shape(self, rng):
+        layer = BatchNorm()
+        layer.build((7,), rng)
+        assert layer.count_params() == 14
+
+    def test_gradients_2d(self, rng):
+        x = rng.normal(size=(8, 5))
+        assert layer_gradient_check(BatchNorm(), x, rng) < 1e-6
+
+    def test_gradients_3d(self, rng):
+        x = rng.normal(size=(4, 6, 3))
+        assert layer_gradient_check(BatchNorm(), x, rng) < 1e-6
+
+    def test_invalid_config(self):
+        with pytest.raises(LayerError):
+            BatchNorm(momentum=1.0)
+        with pytest.raises(LayerError):
+            BatchNorm(epsilon=0.0)
+
+    def test_backward_without_training_forward(self, rng):
+        layer = BatchNorm()
+        layer.build((3,), rng)
+        layer.forward(np.zeros((2, 3)), training=False)
+        with pytest.raises(LayerError):
+            layer.backward(np.zeros((2, 3)))
+
+
+class TestResidualBlock:
+    def test_identity_plus_inner(self, rng):
+        block = ResidualBlock([Dense(4)])
+        block.build((4,), rng)
+        block.inner[0].params[0][...] = 0.0
+        block.inner[0].params[1][...] = 0.0
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(block.forward(x), x)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(LayerError):
+            ResidualBlock([Dense(5)]).build((4,), rng)
+
+    def test_empty_inner_rejected(self):
+        with pytest.raises(LayerError):
+            ResidualBlock([])
+
+    def test_params_aggregated(self, rng):
+        block = ResidualBlock([Dense(4), ReLU(), Dense(4)])
+        block.build((4,), rng)
+        assert block.count_params() == 2 * (4 * 4 + 4)
+        assert len(block.params) == 4
+
+    def test_gradients(self, rng):
+        block = ResidualBlock([Dense(5), ReLU(), Dense(5)])
+        x = rng.normal(size=(6, 5)) + 0.1
+        assert layer_gradient_check(block, x, rng) < 1e-6
+
+    def test_output_shape(self):
+        assert ResidualBlock([Dense(3)]).output_shape((3,)) == (3,)
+
+
+class TestTranspose:
+    def test_forward_backward(self, rng):
+        layer = Transpose12()
+        x = rng.normal(size=(2, 3, 5))
+        out = layer.forward(x)
+        assert out.shape == (2, 5, 3)
+        assert layer.backward(out).shape == x.shape
+
+    def test_output_shape(self):
+        assert Transpose12().output_shape((3, 5)) == (5, 3)
+
+
+class TestGohrResnet:
+    def test_builds_and_predicts(self, rng):
+        model = gohr_resnet(depth=1, filters=8, dense_units=16)
+        model.build((64,), rng=1)
+        model.compile()
+        out = model.predict(rng.random((4, 64)))
+        assert out.shape == (4, 2)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_sigmoid_head(self, rng):
+        model = gohr_resnet(depth=1, filters=8, dense_units=16, num_classes=1)
+        model.build((64,), rng=1)
+        out = model.forward(rng.random((3, 64)))
+        assert out.shape == (3, 1)
+        assert ((out > 0) & (out < 1)).all()
+
+    def test_learns_speck_5_rounds(self):
+        from repro.core.scenario import SpeckRealOrRandomScenario
+
+        scenario = SpeckRealOrRandomScenario(rounds=5)
+        x, y = scenario.generate_dataset(3000, rng=1)
+        model = gohr_resnet(depth=2, filters=16, dense_units=32)
+        model.build((64,), rng=2)
+        model.compile()
+        model.fit(x[:5000], y[:5000], epochs=3, batch_size=128, rng=3)
+        _, metrics = model.evaluate(x[5000:], y[5000:])
+        assert metrics["accuracy"] > 0.6
+
+    def test_invalid_depth(self):
+        with pytest.raises(LayerError):
+            gohr_resnet(depth=0)

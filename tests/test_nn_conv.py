@@ -1,0 +1,111 @@
+"""Tests for Conv1D and pooling layers."""
+
+import numpy as np
+import pytest
+
+from nn_helpers import layer_gradient_check
+from repro.errors import LayerError
+from repro.nn.conv import Conv1D, GlobalAveragePool1D, MaxPool1D
+
+
+class TestConv1D:
+    def test_valid_output_shape(self, rng):
+        layer = Conv1D(5, 3, padding="valid")
+        layer.build((10, 2), rng)
+        out = layer.forward(rng.normal(size=(4, 10, 2)))
+        assert out.shape == (4, 8, 5)
+        assert layer.output_shape((10, 2)) == (8, 5)
+
+    def test_same_output_shape(self, rng):
+        layer = Conv1D(5, 3, padding="same")
+        layer.build((10, 2), rng)
+        out = layer.forward(rng.normal(size=(4, 10, 2)))
+        assert out.shape == (4, 10, 5)
+
+    def test_param_count(self, rng):
+        layer = Conv1D(7, 3)
+        layer.build((10, 4), rng)
+        assert layer.count_params() == 3 * 4 * 7 + 7
+
+    def test_identity_kernel(self, rng):
+        """Kernel size 1 with identity weights reproduces the input."""
+        layer = Conv1D(2, 1, use_bias=False)
+        layer.build((5, 2), rng)
+        layer.params[0][...] = np.eye(2)[np.newaxis]
+        x = rng.normal(size=(3, 5, 2))
+        assert np.allclose(layer.forward(x), x)
+
+    def test_known_convolution(self, rng):
+        """A kernel of ones computes windowed sums."""
+        layer = Conv1D(1, 2, use_bias=False)
+        layer.build((4, 1), rng)
+        layer.params[0][...] = 1.0
+        x = np.array([[[1.0], [2.0], [3.0], [4.0]]])
+        out = layer.forward(x)
+        assert np.allclose(out[0, :, 0], [3.0, 5.0, 7.0])
+
+    def test_gradients_valid(self, rng):
+        x = rng.normal(size=(3, 8, 2))
+        assert layer_gradient_check(Conv1D(4, 3, padding="valid"), x, rng) < 1e-5
+
+    def test_gradients_same(self, rng):
+        x = rng.normal(size=(3, 8, 2))
+        assert layer_gradient_check(Conv1D(4, 3, padding="same"), x, rng) < 1e-5
+
+    def test_invalid_padding(self):
+        with pytest.raises(LayerError):
+            Conv1D(4, 3, padding="full")
+
+    def test_kernel_too_large(self, rng):
+        with pytest.raises(LayerError):
+            Conv1D(4, 11).build((10, 2), rng)
+
+    def test_needs_3d_input_shape(self, rng):
+        with pytest.raises(LayerError):
+            Conv1D(4, 3).build((10,), rng)
+
+
+class TestMaxPool1D:
+    def test_forward(self):
+        layer = MaxPool1D(2)
+        x = np.array([[[1.0], [5.0], [2.0], [3.0]]])
+        out = layer.forward(x, training=True)
+        assert np.allclose(out[0, :, 0], [5.0, 3.0])
+
+    def test_backward_routes_to_argmax(self):
+        layer = MaxPool1D(2)
+        x = np.array([[[1.0], [5.0], [2.0], [3.0]]])
+        layer.forward(x, training=True)
+        grad = layer.backward(np.array([[[1.0], [2.0]]]))
+        assert np.allclose(grad[0, :, 0], [0.0, 1.0, 0.0, 2.0])
+
+    def test_trims_ragged_tail(self, rng):
+        layer = MaxPool1D(3)
+        out = layer.forward(rng.normal(size=(2, 10, 4)), training=True)
+        assert out.shape == (2, 3, 4)
+
+    def test_gradients(self, rng):
+        # Use well-separated values so argmax ties cannot occur.
+        x = rng.permutation(np.arange(48, dtype=np.float64)).reshape(2, 12, 2)
+        assert layer_gradient_check(MaxPool1D(2), x, rng) < 1e-5
+
+    def test_invalid_pool(self):
+        with pytest.raises(LayerError):
+            MaxPool1D(0)
+
+    def test_output_shape(self):
+        assert MaxPool1D(2).output_shape((10, 3)) == (5, 3)
+
+
+class TestGlobalAveragePool:
+    def test_forward(self):
+        x = np.array([[[1.0, 2.0], [3.0, 4.0]]])
+        out = GlobalAveragePool1D().forward(x)
+        assert np.allclose(out, [[2.0, 3.0]])
+
+    def test_gradients(self, rng):
+        x = rng.normal(size=(3, 6, 4))
+        assert layer_gradient_check(GlobalAveragePool1D(), x, rng) < 1e-5
+
+    def test_output_shape(self):
+        assert GlobalAveragePool1D().output_shape((9, 5)) == (5,)

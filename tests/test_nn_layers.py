@@ -1,0 +1,185 @@
+"""Tests for core layers: shapes, semantics, exact gradients."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LayerError
+from repro.nn.layers import (
+    Dense,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    ReLU,
+    Reshape,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from nn_helpers import layer_gradient_check
+
+
+class TestDense:
+    def test_forward_linear(self, rng):
+        layer = Dense(3)
+        layer.build((2,), rng)
+        layer.params[0][...] = np.array([[1.0, 0.0, 2.0], [0.0, 1.0, 3.0]])
+        layer.params[1][...] = np.array([0.5, -0.5, 0.0])
+        out = layer.forward(np.array([[1.0, 2.0]]))
+        assert np.allclose(out, [[1.5, 1.5, 8.0]])
+
+    def test_no_bias(self, rng):
+        layer = Dense(4, use_bias=False)
+        layer.build((3,), rng)
+        assert len(layer.params) == 1
+        assert layer.count_params() == 12
+
+    def test_param_count(self, rng):
+        layer = Dense(10)
+        layer.build((7,), rng)
+        assert layer.count_params() == 80
+
+    def test_gradients(self, rng):
+        x = rng.normal(size=(5, 4))
+        assert layer_gradient_check(Dense(6), x, rng) < 1e-5
+
+    def test_gradients_no_bias(self, rng):
+        x = rng.normal(size=(5, 4))
+        assert layer_gradient_check(Dense(6, use_bias=False), x, rng) < 1e-5
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Dense(2)
+        layer.build((2,), rng)
+        with pytest.raises(LayerError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_inference_forward_does_not_cache(self, rng):
+        layer = Dense(2)
+        layer.build((2,), rng)
+        layer.forward(np.zeros((1, 2)), training=False)
+        with pytest.raises(LayerError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_requires_flat_input(self, rng):
+        with pytest.raises(LayerError):
+            Dense(2).build((3, 4), rng)
+
+    def test_invalid_units(self):
+        with pytest.raises(LayerError):
+            Dense(0)
+
+    def test_output_shape(self):
+        assert Dense(9).output_shape((4,)) == (9,)
+
+
+class TestActivations:
+    def test_relu_values(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert list(out[0]) == [0.0, 0.0, 2.0]
+
+    def test_leaky_relu_values(self):
+        layer = LeakyReLU(alpha=0.1)
+        out = layer.forward(np.array([[-2.0, 3.0]]))
+        assert np.allclose(out, [[-0.2, 3.0]])
+
+    def test_leaky_relu_invalid_alpha(self):
+        with pytest.raises(LayerError):
+            LeakyReLU(alpha=-0.5)
+
+    def test_sigmoid_range(self, rng):
+        out = Sigmoid().forward(rng.normal(size=(4, 3)) * 10)
+        assert ((out > 0) & (out < 1)).all()
+
+    def test_sigmoid_extreme_inputs_stable(self):
+        out = Sigmoid().forward(np.array([[-1e9, 1e9]]))
+        assert np.isfinite(out).all()
+
+    def test_tanh_matches_numpy(self, rng):
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(Tanh().forward(x), np.tanh(x))
+
+    @pytest.mark.parametrize(
+        "layer_factory",
+        [ReLU, lambda: LeakyReLU(0.2), Sigmoid, Tanh],
+    )
+    def test_gradients(self, layer_factory, rng):
+        # Avoid ReLU kinks at zero by shifting away from the origin.
+        x = rng.normal(size=(6, 5)) + 0.1
+        assert layer_gradient_check(layer_factory(), x, rng) < 1e-5
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = Softmax().forward(rng.normal(size=(7, 4)))
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 5))
+        a = Softmax().forward(x)
+        b = Softmax().forward(x + 100.0)
+        assert np.allclose(a, b)
+
+    def test_large_logits_stable(self):
+        out = Softmax().forward(np.array([[1e9, 0.0]]))
+        assert np.isfinite(out).all()
+
+    def test_gradients(self, rng):
+        x = rng.normal(size=(4, 6))
+        assert layer_gradient_check(Softmax(), x, rng) < 1e-5
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        x = rng.normal(size=(4, 8))
+        assert (Dropout(0.5).forward(x, training=False) == x).all()
+
+    def test_training_masks_and_scales(self):
+        layer = Dropout(0.5, seed=0)
+        x = np.ones((1, 10000))
+        out = layer.forward(x, training=True)
+        # Survivors are scaled by 1/keep = 2; mean stays ~1.
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+        assert abs(out.mean() - 1.0) < 0.1
+
+    def test_rate_zero_identity(self, rng):
+        x = rng.normal(size=(2, 3))
+        assert (Dropout(0.0).forward(x, training=True) == x).all()
+
+    def test_invalid_rate(self):
+        with pytest.raises(LayerError):
+            Dropout(1.0)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, seed=1)
+        x = np.ones((1, 100))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones((1, 100)))
+        assert (grad == out).all()
+
+
+class TestShapeLayers:
+    def test_flatten(self, rng):
+        x = rng.normal(size=(3, 4, 5))
+        layer = Flatten()
+        out = layer.forward(x)
+        assert out.shape == (3, 20)
+        back = layer.backward(out)
+        assert back.shape == x.shape
+
+    def test_flatten_output_shape(self):
+        assert Flatten().output_shape((4, 5)) == (20,)
+
+    def test_reshape(self, rng):
+        x = rng.normal(size=(2, 8))
+        layer = Reshape((4, 2))
+        out = layer.forward(x)
+        assert out.shape == (2, 4, 2)
+        assert (layer.backward(out) == x).all()
+
+    def test_reshape_validates_size(self):
+        with pytest.raises(LayerError):
+            Reshape((3, 3)).output_shape((8,))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(LayerError):
+            Flatten().backward(np.zeros((1, 2)))

@@ -1,0 +1,140 @@
+"""Tests for loss functions: values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, TrainingError
+from repro.nn.losses import (
+    BinaryCrossentropy,
+    CategoricalCrossentropy,
+    MeanSquaredError,
+    get_loss,
+    one_hot,
+)
+
+
+def numeric_loss_grad(loss, y_true, y_pred, eps=1e-7):
+    grad = np.zeros_like(y_pred)
+    for idx in np.ndindex(y_pred.shape):
+        plus = y_pred.copy()
+        plus[idx] += eps
+        minus = y_pred.copy()
+        minus[idx] -= eps
+        grad[idx] = (loss(y_true, plus)[0] - loss(y_true, minus)[0]) / (2 * eps)
+    return grad
+
+
+class TestOneHot:
+    def test_encoding(self):
+        enc = one_hot(np.array([0, 2, 1]), 3)
+        assert enc.shape == (3, 3)
+        assert list(enc.argmax(axis=1)) == [0, 2, 1]
+
+    def test_out_of_range(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.array([3]), 3)
+        with pytest.raises(ShapeError):
+            one_hot(np.array([-1]), 3)
+
+    def test_requires_1d(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.zeros((2, 2), dtype=int), 2)
+
+
+class TestCategoricalCrossentropy:
+    def test_perfect_prediction_near_zero(self):
+        loss = CategoricalCrossentropy()
+        y = one_hot(np.array([0, 1]), 2)
+        value, _ = loss(y, y * 0.9999 + 0.00005)
+        assert value < 1e-3
+
+    def test_uniform_prediction_log_t(self):
+        loss = CategoricalCrossentropy()
+        y = one_hot(np.array([0, 1, 2, 3]), 4)
+        pred = np.full((4, 4), 0.25)
+        value, _ = loss(y, pred)
+        assert value == pytest.approx(np.log(4.0))
+
+    def test_gradient_matches_numeric(self, rng):
+        loss = CategoricalCrossentropy()
+        y = one_hot(np.array([0, 2, 1]), 3)
+        pred = rng.dirichlet(np.ones(3), size=3)
+        _, grad = loss(y, pred)
+        assert np.allclose(grad, numeric_loss_grad(loss, y, pred), atol=1e-4)
+
+    def test_from_logits_gradient(self, rng):
+        loss = CategoricalCrossentropy(from_logits=True)
+        y = one_hot(np.array([1, 0]), 2)
+        logits = rng.normal(size=(2, 2))
+        _, grad = loss(y, logits)
+        assert np.allclose(grad, numeric_loss_grad(loss, y, logits), atol=1e-5)
+
+    def test_from_logits_equals_softmax_then_cce(self, rng):
+        from repro.nn.layers import Softmax
+
+        logits = rng.normal(size=(5, 4))
+        y = one_hot(rng.integers(0, 4, 5), 4)
+        a, _ = CategoricalCrossentropy(from_logits=True)(y, logits)
+        b, _ = CategoricalCrossentropy()(y, Softmax().forward(logits))
+        assert a == pytest.approx(b, abs=1e-9)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            CategoricalCrossentropy()(np.zeros((2, 3)), np.zeros((2, 2)))
+
+    def test_empty_batch(self):
+        with pytest.raises(TrainingError):
+            CategoricalCrossentropy()(np.zeros((0, 2)), np.zeros((0, 2)))
+
+    def test_clipping_handles_zero_probability(self):
+        loss = CategoricalCrossentropy()
+        y = one_hot(np.array([0]), 2)
+        value, grad = loss(y, np.array([[0.0, 1.0]]))
+        assert np.isfinite(value)
+        assert np.isfinite(grad).all()
+
+
+class TestBinaryCrossentropy:
+    def test_symmetric(self):
+        loss = BinaryCrossentropy()
+        a, _ = loss(np.array([[1.0]]), np.array([[0.8]]))
+        b, _ = loss(np.array([[0.0]]), np.array([[0.2]]))
+        assert a == pytest.approx(b)
+
+    def test_gradient_matches_numeric(self, rng):
+        loss = BinaryCrossentropy()
+        y = rng.integers(0, 2, size=(4, 1)).astype(np.float64)
+        pred = rng.uniform(0.1, 0.9, size=(4, 1))
+        _, grad = loss(y, pred)
+        assert np.allclose(grad, numeric_loss_grad(loss, y, pred), atol=1e-5)
+
+
+class TestMeanSquaredError:
+    def test_zero_on_match(self, rng):
+        y = rng.normal(size=(3, 2))
+        value, grad = MeanSquaredError()(y, y.copy())
+        assert value == 0.0
+        assert (grad == 0).all()
+
+    def test_gradient_matches_numeric(self, rng):
+        loss = MeanSquaredError()
+        y = rng.normal(size=(3, 2))
+        pred = rng.normal(size=(3, 2))
+        _, grad = loss(y, pred)
+        assert np.allclose(grad, numeric_loss_grad(loss, y, pred), atol=1e-5)
+
+
+class TestGetLoss:
+    def test_by_name(self):
+        assert isinstance(get_loss("mse"), MeanSquaredError)
+        assert isinstance(
+            get_loss("categorical_crossentropy"), CategoricalCrossentropy
+        )
+
+    def test_instance_passthrough(self):
+        loss = MeanSquaredError()
+        assert get_loss(loss) is loss
+
+    def test_unknown(self):
+        with pytest.raises(TrainingError):
+            get_loss("nope")

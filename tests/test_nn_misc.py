@@ -1,0 +1,169 @@
+"""Tests for initializers, metrics, callbacks and the Table 3 factories."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, TrainingError
+from repro.nn.architectures import (
+    SEQUENCE_SHAPE,
+    TABLE3_NETWORKS,
+    TABLE3_PAPER_PARAMS,
+    build_mlp,
+    get_table3_network,
+    minimal_three_layer,
+)
+from repro.nn.callbacks import EarlyStopping, History
+from repro.nn.initializers import (
+    get_initializer,
+    glorot_uniform,
+    he_uniform,
+    normal_init,
+    zeros_init,
+)
+from repro.nn.metrics import categorical_accuracy, get_metric, prediction_accuracy
+
+
+class TestInitializers:
+    def test_glorot_limit(self, rng):
+        w = glorot_uniform((100, 200), rng)
+        limit = np.sqrt(6.0 / 300)
+        assert np.abs(w).max() <= limit
+        assert w.shape == (100, 200)
+
+    def test_he_limit(self, rng):
+        w = he_uniform((100, 50), rng)
+        assert np.abs(w).max() <= np.sqrt(6.0 / 100)
+
+    def test_normal_std(self, rng):
+        w = normal_init((10000,), rng, stddev=0.05)
+        assert abs(w.std() - 0.05) < 0.005
+
+    def test_zeros(self, rng):
+        assert (zeros_init((3, 3), rng) == 0).all()
+
+    def test_conv_fans(self, rng):
+        # 3-D kernel shapes use receptive-field-scaled fans.
+        w = glorot_uniform((3, 8, 16), rng)
+        limit = np.sqrt(6.0 / (3 * 8 + 3 * 16))
+        assert np.abs(w).max() <= limit
+
+    def test_lookup(self):
+        assert get_initializer("glorot_uniform") is glorot_uniform
+        with pytest.raises(ValueError):
+            get_initializer("unknown")
+
+
+class TestMetrics:
+    def test_categorical_accuracy(self):
+        y = np.array([[1.0, 0.0], [0.0, 1.0]])
+        pred = np.array([[0.9, 0.1], [0.6, 0.4]])
+        assert categorical_accuracy(y, pred) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            categorical_accuracy(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_prediction_accuracy(self):
+        assert prediction_accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == (
+            pytest.approx(2 / 3)
+        )
+
+    def test_prediction_accuracy_empty(self):
+        with pytest.raises(ShapeError):
+            prediction_accuracy(np.array([]), np.array([]))
+
+    def test_get_metric(self):
+        assert get_metric("accuracy") is categorical_accuracy
+        with pytest.raises(ShapeError):
+            get_metric("f1")
+
+
+class TestHistory:
+    def test_append_and_access(self):
+        h = History()
+        h.append(0, {"loss": 1.0})
+        h.append(1, {"loss": 0.5})
+        assert h["loss"] == [1.0, 0.5]
+        assert h.last("loss") == 0.5
+        assert "loss" in h
+
+    def test_missing_key(self):
+        with pytest.raises(TrainingError):
+            History().last("loss")
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(monitor="loss", patience=1)
+        for epoch, loss in enumerate([1.0, 0.9, 0.95, 0.96]):
+            stopper.on_epoch_end(epoch, {"loss": loss})
+        assert stopper.stop_training
+
+    def test_improvement_resets_patience(self):
+        stopper = EarlyStopping(monitor="loss", patience=1)
+        for epoch, loss in enumerate([1.0, 1.1, 0.5, 0.6, 0.4]):
+            stopper.on_epoch_end(epoch, {"loss": loss})
+        assert not stopper.stop_training
+
+    def test_max_mode(self):
+        stopper = EarlyStopping(monitor="accuracy", patience=0, mode="max")
+        stopper.on_epoch_end(0, {"accuracy": 0.9})
+        stopper.on_epoch_end(1, {"accuracy": 0.8})
+        assert stopper.stop_training
+
+    def test_missing_monitor_raises(self):
+        stopper = EarlyStopping(monitor="val_loss")
+        with pytest.raises(TrainingError):
+            stopper.on_epoch_end(0, {"loss": 1.0})
+
+    def test_invalid_config(self):
+        with pytest.raises(TrainingError):
+            EarlyStopping(mode="sideways")
+        with pytest.raises(TrainingError):
+            EarlyStopping(patience=-1)
+
+
+class TestArchitectures:
+    @pytest.mark.parametrize(
+        "name", ["MLP I", "MLP II", "MLP IV", "MLP V"]
+    )
+    def test_exact_paper_parameter_counts(self, name):
+        model = get_table3_network(name)
+        model.build((128,), rng=0)
+        assert model.count_params() == TABLE3_PAPER_PARAMS[name]
+
+    @pytest.mark.parametrize("name", ["MLP III", "MLP VI"])
+    def test_mlp_iii_paper_off_by_two(self, name):
+        """The paper prints 1,200,256; the layer arithmetic gives
+        1,200,258 (see EXPERIMENTS.md)."""
+        model = get_table3_network(name)
+        model.build((128,), rng=0)
+        assert model.count_params() == TABLE3_PAPER_PARAMS[name] + 2
+
+    @pytest.mark.parametrize("name", sorted(TABLE3_NETWORKS))
+    def test_all_networks_build_and_predict(self, name, rng):
+        model = get_table3_network(name)
+        model.build((128,), rng=1)
+        model.compile()
+        x = rng.random((4, 128))
+        out = model.predict(x)
+        assert out.shape == (4, 2)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_sequence_shape_covers_input(self):
+        assert SEQUENCE_SHAPE[0] * SEQUENCE_SHAPE[1] == 128
+
+    def test_minimal_three_layer(self):
+        model = minimal_three_layer()
+        model.build((128,), rng=0)
+        # Dense(128) + Dense(1024) + Dense(2): the "three layer" network.
+        dense_layers = [l for l in model.layers if type(l).__name__ == "Dense"]
+        assert len(dense_layers) == 3
+
+    def test_build_mlp_validation(self):
+        with pytest.raises(Exception):
+            build_mlp([])
+
+    def test_unknown_network(self):
+        with pytest.raises(Exception):
+            get_table3_network("MLP X")

@@ -1,0 +1,173 @@
+"""Tests for the Sequential model: training, evaluation, persistence."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import LayerError, TrainingError
+from repro.nn import (
+    Dense,
+    EarlyStopping,
+    ReLU,
+    Sequential,
+    Softmax,
+    load_model,
+)
+from repro.nn.model import _layer_class
+
+
+def make_blob_data(rng, n=400):
+    """Two separable Gaussian blobs in 4 dimensions."""
+    x0 = rng.normal(loc=-2.0, size=(n // 2, 4))
+    x1 = rng.normal(loc=+2.0, size=(n // 2, 4))
+    x = np.concatenate([x0, x1])
+    y = np.concatenate([np.zeros(n // 2, dtype=int), np.ones(n // 2, dtype=int)])
+    order = rng.permutation(n)
+    return x[order], y[order]
+
+
+def make_model():
+    return Sequential([Dense(16), ReLU(), Dense(2), Softmax()])
+
+
+class TestBuildAndParams:
+    def test_build_assigns_shapes(self, rng):
+        model = make_model().build((4,), rng)
+        assert model.count_params() == (4 * 16 + 16) + (16 * 2 + 2)
+
+    def test_summary_mentions_layers(self, rng):
+        summary = make_model().build((4,), rng).summary()
+        assert "Dense" in summary and "Total params" in summary
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(TrainingError):
+            Sequential().build((4,))
+
+    def test_add_after_build_rejected(self, rng):
+        model = make_model().build((4,), rng)
+        with pytest.raises(TrainingError):
+            model.add(Dense(3))
+
+    def test_count_before_build_rejected(self):
+        with pytest.raises(TrainingError):
+            make_model().count_params()
+
+
+class TestTraining:
+    def test_learns_separable_blobs(self, rng):
+        x, y = make_blob_data(rng)
+        model = make_model().build((4,), rng).compile()
+        model.fit(x, y, epochs=10, batch_size=32, rng=rng)
+        _, metrics = model.evaluate(x, y)
+        assert metrics["accuracy"] > 0.95
+
+    def test_loss_decreases(self, rng):
+        x, y = make_blob_data(rng)
+        model = make_model().build((4,), rng).compile()
+        history = model.fit(x, y, epochs=8, batch_size=32, rng=rng)
+        assert history["loss"][-1] < history["loss"][0]
+
+    def test_history_keys(self, rng):
+        x, y = make_blob_data(rng, n=64)
+        model = make_model().build((4,), rng).compile()
+        history = model.fit(x, y, epochs=2, rng=rng, validation_split=0.25)
+        for key in ("loss", "accuracy", "val_loss", "val_accuracy", "time"):
+            assert key in history
+
+    def test_validation_data(self, rng):
+        x, y = make_blob_data(rng, n=128)
+        model = make_model().build((4,), rng).compile()
+        history = model.fit(
+            x[:96], y[:96], epochs=2, validation_data=(x[96:], y[96:]), rng=rng
+        )
+        assert "val_accuracy" in history
+
+    def test_both_validation_specs_rejected(self, rng):
+        x, y = make_blob_data(rng, n=64)
+        model = make_model().build((4,), rng).compile()
+        with pytest.raises(TrainingError):
+            model.fit(
+                x, y, validation_split=0.5, validation_data=(x, y), rng=rng
+            )
+
+    def test_fit_before_compile_rejected(self, rng):
+        x, y = make_blob_data(rng, n=32)
+        with pytest.raises(TrainingError):
+            make_model().build((4,), rng).fit(x, y)
+
+    def test_onehot_targets_accepted(self, rng):
+        x, y = make_blob_data(rng, n=64)
+        onehot = np.eye(2)[y]
+        model = make_model().build((4,), rng).compile()
+        model.fit(x, onehot, epochs=1, rng=rng)
+
+    def test_mismatched_sample_counts(self, rng):
+        model = make_model().build((4,), rng).compile()
+        with pytest.raises(TrainingError):
+            model.fit(np.zeros((4, 4)), np.zeros(5, dtype=int), rng=rng)
+
+    def test_early_stopping(self, rng):
+        x, y = make_blob_data(rng)
+        model = make_model().build((4,), rng).compile()
+        stopper = EarlyStopping(monitor="loss", patience=0, min_delta=10.0)
+        history = model.fit(x, y, epochs=20, rng=rng, callbacks=[stopper])
+        # min_delta=10 means "never improves" -> stops after epoch 2.
+        assert len(history.epochs) == 2
+
+    def test_deterministic_given_seed(self, rng_factory):
+        results = []
+        for _ in range(2):
+            gen = rng_factory(11)
+            x, y = make_blob_data(gen, n=64)
+            model = make_model().build((4,), rng_factory(5)).compile()
+            model.fit(x, y, epochs=2, rng=rng_factory(6))
+            results.append(model.predict(x))
+        assert np.allclose(results[0], results[1])
+
+    def test_invalid_epochs_and_batch(self, rng):
+        x, y = make_blob_data(rng, n=16)
+        model = make_model().build((4,), rng).compile()
+        with pytest.raises(TrainingError):
+            model.fit(x, y, epochs=0, rng=rng)
+        with pytest.raises(TrainingError):
+            model.fit(x, y, batch_size=0, rng=rng)
+
+
+class TestInference:
+    def test_predict_batched_consistent(self, rng):
+        x, y = make_blob_data(rng, n=64)
+        model = make_model().build((4,), rng).compile()
+        model.fit(x, y, epochs=1, rng=rng)
+        assert np.allclose(model.predict(x, batch_size=7), model.predict(x))
+
+    def test_predict_classes(self, rng):
+        x, _ = make_blob_data(rng, n=32)
+        model = make_model().build((4,), rng).compile()
+        classes = model.predict_classes(x)
+        assert set(classes).issubset({0, 1})
+
+    def test_evaluate_before_compile(self, rng):
+        x, y = make_blob_data(rng, n=16)
+        with pytest.raises(TrainingError):
+            make_model().build((4,), rng).evaluate(x, y)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        x, y = make_blob_data(rng, n=64)
+        model = make_model().build((4,), rng).compile()
+        model.fit(x, y, epochs=1, rng=rng)
+        path = os.path.join(tmp_path, "model.npz")
+        model.save(path)
+        loaded = load_model(path)
+        assert np.allclose(model.predict(x), loaded.predict(x))
+        assert loaded.count_params() == model.count_params()
+
+    def test_save_before_build_rejected(self, tmp_path):
+        with pytest.raises(TrainingError):
+            make_model().save(os.path.join(tmp_path, "m.npz"))
+
+    def test_unknown_layer_class(self):
+        with pytest.raises(LayerError):
+            _layer_class("NotALayer")

@@ -1,0 +1,86 @@
+"""Tests for SGD and Adam."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn.optimizers import SGD, Adam, get_optimizer
+
+
+def quadratic_descent(optimizer, start, steps=200):
+    """Minimise f(x) = x^2 with the given optimizer; return final |x|."""
+    param = np.array([float(start)])
+    for _ in range(steps):
+        grad = 2.0 * param
+        optimizer.update([param], [grad])
+    return abs(float(param[0]))
+
+
+class TestSGD:
+    def test_plain_step(self):
+        param = np.array([1.0])
+        SGD(learning_rate=0.1).update([param], [np.array([2.0])])
+        assert param[0] == pytest.approx(0.8)
+
+    def test_converges_on_quadratic(self):
+        assert quadratic_descent(SGD(learning_rate=0.1), 5.0) < 1e-3
+
+    def test_momentum_accelerates(self):
+        slow = quadratic_descent(SGD(learning_rate=0.01), 5.0, steps=50)
+        fast = quadratic_descent(SGD(learning_rate=0.01, momentum=0.9), 5.0, steps=50)
+        assert fast < slow
+
+    def test_invalid_params(self):
+        with pytest.raises(TrainingError):
+            SGD(learning_rate=0)
+        with pytest.raises(TrainingError):
+            SGD(momentum=1.0)
+
+    def test_mismatched_lists(self):
+        with pytest.raises(TrainingError):
+            SGD().update([np.zeros(2)], [])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        assert quadratic_descent(Adam(learning_rate=0.1), 5.0, steps=500) < 1e-3
+
+    def test_first_step_magnitude(self):
+        """Adam's bias correction makes the first step ~= learning rate."""
+        param = np.array([1.0])
+        Adam(learning_rate=0.01).update([param], [np.array([100.0])])
+        assert abs(1.0 - param[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_per_parameter_state(self):
+        opt = Adam(learning_rate=0.1)
+        a, b = np.array([1.0]), np.array([1.0])
+        opt.update([a, b], [np.array([1.0]), np.array([-1.0])])
+        assert a[0] < 1.0 < b[0]
+
+    def test_state_persists_across_steps(self):
+        opt = Adam(learning_rate=0.1)
+        param = np.array([1.0])
+        opt.update([param], [np.array([1.0])])
+        first = param.copy()
+        opt.update([param], [np.array([1.0])])
+        assert param[0] < first[0]
+
+    def test_invalid_params(self):
+        with pytest.raises(TrainingError):
+            Adam(learning_rate=-1)
+        with pytest.raises(TrainingError):
+            Adam(beta_1=1.0)
+
+
+class TestGetOptimizer:
+    def test_by_name(self):
+        assert isinstance(get_optimizer("adam"), Adam)
+        assert isinstance(get_optimizer("sgd"), SGD)
+
+    def test_instance_passthrough(self):
+        opt = Adam()
+        assert get_optimizer(opt) is opt
+
+    def test_unknown(self):
+        with pytest.raises(TrainingError):
+            get_optimizer("rmsprop")

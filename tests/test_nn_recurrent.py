@@ -1,0 +1,88 @@
+"""Tests for the LSTM layer: shapes, semantics, BPTT gradients."""
+
+import numpy as np
+import pytest
+
+from nn_helpers import layer_gradient_check
+from repro.errors import LayerError
+from repro.nn.recurrent import LSTM
+
+
+class TestShapes:
+    def test_last_output(self, rng):
+        layer = LSTM(7)
+        layer.build((5, 3), rng)
+        out = layer.forward(rng.normal(size=(4, 5, 3)))
+        assert out.shape == (4, 7)
+
+    def test_return_sequences(self, rng):
+        layer = LSTM(7, return_sequences=True)
+        layer.build((5, 3), rng)
+        out = layer.forward(rng.normal(size=(4, 5, 3)))
+        assert out.shape == (4, 5, 7)
+
+    def test_output_shape_metadata(self):
+        assert LSTM(6).output_shape((9, 2)) == (6,)
+        assert LSTM(6, return_sequences=True).output_shape((9, 2)) == (9, 6)
+
+    def test_param_count_keras_formula(self, rng):
+        units, features = 16, 5
+        layer = LSTM(units)
+        layer.build((3, features), rng)
+        expected = 4 * (features * units + units * units + units)
+        assert layer.count_params() == expected
+
+    def test_needs_sequence_input(self, rng):
+        with pytest.raises(LayerError):
+            LSTM(4).build((10,), rng)
+
+    def test_invalid_units(self):
+        with pytest.raises(LayerError):
+            LSTM(0)
+
+
+class TestSemantics:
+    def test_forget_bias_initialised_to_one(self, rng):
+        layer = LSTM(4)
+        layer.build((2, 3), rng)
+        bias = layer.params[2]
+        assert (bias[4:8] == 1.0).all()
+        assert (bias[:4] == 0.0).all()
+
+    def test_outputs_bounded(self, rng):
+        """h = o * tanh(c) with o in (0,1) keeps |h| < 1."""
+        layer = LSTM(5)
+        layer.build((8, 2), rng)
+        out = layer.forward(rng.normal(size=(6, 8, 2)) * 5)
+        assert (np.abs(out) < 1.0).all()
+
+    def test_zero_input_nonzero_output_possible(self, rng):
+        layer = LSTM(3)
+        layer.build((4, 2), rng)
+        out = layer.forward(np.zeros((1, 4, 2)))
+        assert np.isfinite(out).all()
+
+    def test_time_order_matters(self, rng):
+        layer = LSTM(6)
+        layer.build((5, 2), rng)
+        x = rng.normal(size=(1, 5, 2))
+        a = layer.forward(x)
+        b = layer.forward(x[:, ::-1, :])
+        assert not np.allclose(a, b)
+
+
+class TestGradients:
+    def test_last_output_gradients(self, rng):
+        x = rng.normal(size=(3, 4, 2))
+        assert layer_gradient_check(LSTM(5), x, rng, samples=4) < 1e-4
+
+    def test_sequence_output_gradients(self, rng):
+        x = rng.normal(size=(2, 4, 3))
+        layer = LSTM(4, return_sequences=True)
+        assert layer_gradient_check(layer, x, rng, samples=4) < 1e-4
+
+    def test_backward_before_forward(self, rng):
+        layer = LSTM(3)
+        layer.build((2, 2), rng)
+        with pytest.raises(LayerError):
+            layer.backward(np.zeros((1, 3)))

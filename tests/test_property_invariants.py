@@ -1,0 +1,137 @@
+"""Cross-module property tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers.gimli import gimli_permute_batch
+from repro.ciphers.toygift import ToyGift
+from repro.core.scenario import GimliHashScenario, ToySpeckScenario
+from repro.diffcrypt.sbox import SBox
+from repro.diffcrypt.spbox import spbox_apply, spbox_differential_probability
+from repro.nn.layers import Softmax
+from repro.nn.losses import one_hot
+
+nibble_table = st.permutations(list(range(16)))
+
+
+class TestSboxInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(nibble_table)
+    def test_ddt_row_sums(self, table):
+        sbox = SBox(table)
+        assert (sbox.ddt.sum(axis=1) == 16).all()
+
+    @settings(max_examples=15, deadline=None)
+    @given(nibble_table)
+    def test_ddt_of_inverse_is_transpose(self, table):
+        sbox = SBox(table)
+        assert (sbox.inverse.ddt == sbox.ddt.T).all()
+
+    @settings(max_examples=10, deadline=None)
+    @given(nibble_table)
+    def test_uniformity_even_and_bounded(self, table):
+        sbox = SBox(table)
+        uniformity = sbox.differential_uniformity
+        assert uniformity % 2 == 0
+        assert 2 <= uniformity <= 16
+
+    @settings(max_examples=10, deadline=None)
+    @given(nibble_table)
+    def test_lat_parseval(self, table):
+        sbox = SBox(table)
+        assert ((sbox.lat.astype(np.int64) ** 2).sum(axis=1) == 64).all()
+
+
+class TestSpboxInvariants:
+    word = st.integers(0, 2**32 - 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(word, word, word, word, word, word)
+    def test_observed_diff_has_positive_probability(self, a, b, c, da, db, dc):
+        o1 = spbox_apply((a, b, c))
+        o2 = spbox_apply((a ^ da, b ^ db, c ^ dc))
+        dout = tuple(x ^ y for x, y in zip(o1, o2))
+        assert spbox_differential_probability((da, db, dc), dout) > 0.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(word, word, word)
+    def test_zero_diff_to_zero(self, a, b, c):
+        o1 = spbox_apply((a, b, c))
+        o2 = spbox_apply((a, b, c))
+        assert o1 == o2
+
+
+class TestPermutationInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(0, 2**32 - 1), min_size=12, max_size=12),
+           st.integers(1, 24))
+    def test_gimli_xor_linearity_fails(self, state, rounds):
+        """Gimli is nonlinear: P(x ^ y) != P(x) ^ P(y) in general — a
+        sanity property that would expose an accidentally-linearised
+        implementation whenever any nonlinear term activates."""
+        arr = np.array(state, dtype=np.uint32)
+        other = arr ^ np.uint32(0xDEADBEEF)
+        lhs = gimli_permute_batch(arr ^ other, rounds)
+        rhs = gimli_permute_batch(arr, rounds) ^ gimli_permute_batch(other, rounds)
+        # Not a hard guarantee for every input, but overwhelmingly true;
+        # tolerate the measure-zero case by checking a bundle.
+        if (lhs == rhs).all():
+            arr2 = arr ^ np.uint32(1)
+            lhs2 = gimli_permute_batch(arr2 ^ other, rounds)
+            rhs2 = gimli_permute_batch(arr2, rounds) ^ gimli_permute_batch(
+                other, rounds
+            )
+            assert (lhs2 != rhs2).any()
+
+
+class TestScenarioInvariants:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(1, 8), st.integers(5, 40))
+    def test_dataset_balanced_and_binary(self, rounds, n_per_class):
+        scenario = GimliHashScenario(rounds=rounds)
+        x, y = scenario.generate_dataset(n_per_class, rng=rounds)
+        assert (np.bincount(y, minlength=2) == n_per_class).all()
+        assert set(np.unique(x)).issubset({0.0, 1.0})
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(1, 6))
+    def test_toyspeck_dataset_deterministic(self, rounds):
+        scenario = ToySpeckScenario(rounds=rounds)
+        a = scenario.generate_dataset(10, rng=42)
+        b = scenario.generate_dataset(10, rng=42)
+        assert (a[0] == b[0]).all() and (a[1] == b[1]).all()
+
+
+class TestToyGiftInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(st.permutations(list(range(8))))
+    def test_any_wiring_is_bijective(self, wiring):
+        toy = ToyGift(wiring)
+        outputs = {toy.encrypt(v) for v in range(256)}
+        assert len(outputs) == 256
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.permutations(list(range(8))), st.integers(1, 255))
+    def test_exact_probability_is_multiple_of_1_over_256(self, wiring, _seed):
+        toy = ToyGift(wiring)
+        prob = toy.characteristic_probability_exact()
+        assert abs(prob * 256 - round(prob * 256)) < 1e-9
+
+
+class TestNNInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 6), st.integers(2, 5))
+    def test_softmax_rows_normalised(self, n, classes):
+        rng = np.random.default_rng(n * 10 + classes)
+        out = Softmax().forward(rng.normal(size=(n, classes)) * 10)
+        assert np.allclose(out.sum(axis=1), 1.0)
+        assert (out >= 0).all()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=30))
+    def test_one_hot_roundtrip(self, labels):
+        encoded = one_hot(np.array(labels), 4)
+        assert list(encoded.argmax(axis=1)) == labels
+        assert (encoded.sum(axis=1) == 1).all()

@@ -1,0 +1,152 @@
+"""Tests for repro.utils.bitops: rotations, shifts, weights, parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    bit,
+    flip_bit,
+    hamming_weight,
+    mask,
+    parity,
+    rotl,
+    rotl32,
+    rotr,
+    rotr32,
+    set_bit,
+    shl,
+    shr,
+    word_dtype,
+)
+
+
+class TestMask:
+    def test_small_widths(self):
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_invalid_width_raises(self):
+        with pytest.raises(ValueError):
+            mask(0)
+        with pytest.raises(ValueError):
+            mask(-3)
+
+
+class TestWordDtype:
+    @pytest.mark.parametrize(
+        "width,dtype",
+        [(8, np.uint8), (16, np.uint16), (32, np.uint32), (64, np.uint64)],
+    )
+    def test_supported(self, width, dtype):
+        assert word_dtype(width) is dtype
+
+    def test_unsupported_raises(self):
+        with pytest.raises(ValueError):
+            word_dtype(12)
+
+
+class TestRotations:
+    def test_scalar_rotl_known(self):
+        assert rotl(0x80000000, 1, 32) == 1
+        assert rotl(1, 1, 32) == 2
+        assert rotl(0x12345678, 8, 32) == 0x34567812
+
+    def test_scalar_rotr_known(self):
+        assert rotr(1, 1, 32) == 0x80000000
+        assert rotr(0x12345678, 8, 32) == 0x78123456
+
+    def test_rotl_amount_mod_width(self):
+        assert rotl(0xAB, 8, 8) == 0xAB
+        assert rotl(0xAB, 10, 8) == rotl(0xAB, 2, 8)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 64))
+    def test_rotl_rotr_inverse(self, value, amount):
+        assert rotr(rotl(value, amount, 32), amount, 32) == value
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 16))
+    def test_rotation_preserves_weight(self, value, amount):
+        assert hamming_weight(rotl(value, amount, 16)) == hamming_weight(value)
+
+    def test_array_matches_scalar(self, rng):
+        values = rng.integers(0, 2**32, size=64, dtype=np.uint64).astype(np.uint32)
+        for amount in (0, 1, 9, 24, 31):
+            rotated = rotl(values, amount, 32)
+            for v, r in zip(values, rotated):
+                assert rotl(int(v), amount, 32) == int(r)
+
+    def test_rot32_aliases(self):
+        assert rotl32(1, 31) == 0x80000000
+        assert rotr32(1, 1) == 0x80000000
+
+
+class TestShifts:
+    def test_shl_discards_high_bits(self):
+        assert shl(0xFF, 4, 8) == 0xF0
+        assert shl(1, 8, 8) == 0
+
+    def test_shr(self):
+        assert shr(0xF0, 4, 8) == 0x0F
+        assert shr(1, 1, 8) == 0
+
+    def test_negative_amount_raises(self):
+        with pytest.raises(ValueError):
+            shl(1, -1, 8)
+        with pytest.raises(ValueError):
+            shr(1, -1, 8)
+
+    def test_array_shifts(self):
+        arr = np.array([0xFF, 0x01], dtype=np.uint8)
+        assert list(shl(arr, 4, 8)) == [0xF0, 0x10]
+        assert list(shr(arr, 4, 8)) == [0x0F, 0x00]
+
+    def test_overshift_returns_zero(self):
+        assert shl(0xFF, 8, 8) == 0
+        arr = np.array([0xFF], dtype=np.uint8)
+        assert shr(arr, 9, 8)[0] == 0
+
+
+class TestHammingWeight:
+    @pytest.mark.parametrize(
+        "value,weight", [(0, 0), (1, 1), (0xFF, 8), (0x80000001, 2)]
+    )
+    def test_scalar(self, value, weight):
+        assert hamming_weight(value) == weight
+
+    def test_array(self):
+        arr = np.array([0, 1, 3, 0xFF], dtype=np.uint32)
+        assert list(hamming_weight(arr)) == [0, 1, 2, 8]
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_matches_bin_count(self, value):
+        assert hamming_weight(value) == bin(value).count("1")
+
+
+class TestParity:
+    @given(st.integers(0, 2**32 - 1))
+    def test_parity_is_weight_mod_2(self, value):
+        assert parity(value) == hamming_weight(value) % 2
+
+    def test_array(self):
+        arr = np.array([0, 1, 3, 7], dtype=np.uint8)
+        assert list(parity(arr)) == [0, 1, 0, 1]
+
+
+class TestBitHelpers:
+    def test_bit(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 0) == 0
+
+    def test_set_bit(self):
+        assert set_bit(0, 3) == 8
+        assert set_bit(0xFF, 0, 0) == 0xFE
+
+    def test_set_bit_invalid_value(self):
+        with pytest.raises(ValueError):
+            set_bit(0, 0, 2)
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 15))
+    def test_flip_twice_is_identity(self, value, index):
+        assert flip_bit(flip_bit(value, index), index) == value

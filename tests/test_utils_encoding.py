@@ -1,0 +1,108 @@
+"""Tests for repro.utils.encoding: byte/word/bit conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.utils.encoding import (
+    bits_to_bytes,
+    bits_to_words,
+    bytes_to_bits,
+    bytes_to_words,
+    hex_state,
+    state_to_bits,
+    words_to_bits,
+    words_to_bytes,
+)
+
+
+class TestBytesWords:
+    def test_little_endian(self):
+        words = bytes_to_words(b"\x01\x00\x00\x00\xff\x00\x00\x80")
+        assert list(words) == [1, 0x800000FF]
+
+    def test_roundtrip(self, rng):
+        data = rng.integers(0, 256, size=48, dtype=np.uint8).tobytes()
+        assert words_to_bytes(bytes_to_words(data)) == data
+
+    def test_width_16(self):
+        assert list(bytes_to_words(b"\x34\x12", width=16)) == [0x1234]
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ShapeError):
+            bytes_to_words(b"\x01\x02\x03")
+
+
+class TestBitVectors:
+    def test_lsb_first(self):
+        bits = bytes_to_bits(b"\x01\x80")
+        assert bits[0] == 1 and bits[7] == 0
+        assert bits[15] == 1 and bits[8] == 0
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_bad_length_raises(self):
+        with pytest.raises(ShapeError):
+            bits_to_bytes(np.ones(7, dtype=np.uint8))
+
+    def test_bad_ndim_raises(self):
+        with pytest.raises(ShapeError):
+            bits_to_bytes(np.ones((2, 8), dtype=np.uint8))
+
+
+class TestWordsBits:
+    def test_single_word(self):
+        bits = words_to_bits(np.array([[0x80000001]], dtype=np.uint32))
+        assert bits.shape == (1, 32)
+        assert bits[0, 0] == 1 and bits[0, 31] == 1 and bits[0, 16] == 0
+
+    def test_roundtrip(self, rng):
+        words = rng.integers(0, 2**32, size=(5, 12), dtype=np.uint64).astype(
+            np.uint32
+        )
+        back = bits_to_words(words_to_bits(words), width=32)
+        assert (back == words).all()
+
+    def test_roundtrip_uint8(self, rng):
+        words = rng.integers(0, 256, size=(7, 2), dtype=np.uint8)
+        back = bits_to_words(words_to_bits(words, width=8), width=8)
+        assert (back == words).all()
+
+    def test_1d_input_promoted(self):
+        bits = words_to_bits(np.array([1, 2], dtype=np.uint32))
+        assert bits.shape == (1, 64)
+
+    def test_bits_to_words_validates(self):
+        with pytest.raises(ShapeError):
+            bits_to_words(np.ones(32, dtype=np.uint8))
+        with pytest.raises(ShapeError):
+            bits_to_words(np.ones((2, 33), dtype=np.uint8))
+
+
+class TestStateToBits:
+    def test_dtype_and_values(self, rng):
+        words = rng.integers(0, 2**32, size=(3, 4), dtype=np.uint64).astype(
+            np.uint32
+        )
+        feats = state_to_bits(words)
+        assert feats.dtype == np.float32
+        assert set(np.unique(feats)).issubset({0.0, 1.0})
+        assert feats.shape == (3, 128)
+
+    def test_xor_is_feature_xor(self, rng):
+        a = rng.integers(0, 2**32, size=(4, 4), dtype=np.uint64).astype(np.uint32)
+        b = rng.integers(0, 2**32, size=(4, 4), dtype=np.uint64).astype(np.uint32)
+        lhs = state_to_bits(a ^ b)
+        rhs = np.abs(state_to_bits(a) - state_to_bits(b))
+        assert (lhs == rhs).all()
+
+
+class TestHexState:
+    def test_format(self):
+        assert hex_state(np.array([0x1, 0xABCD], dtype=np.uint32)) == (
+            "00000001 0000abcd"
+        )

@@ -1,0 +1,63 @@
+"""Tests for repro.utils.rng: deterministic, independent streams."""
+
+import numpy as np
+
+from repro.utils.rng import derive_rng, make_rng, random_bytes, spawn_seed
+
+
+class TestMakeRng:
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(42).integers(0, 2**32, size=8)
+        b = make_rng(42).integers(0, 2**32, size=8)
+        assert (a == b).all()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        a = make_rng(seq).integers(0, 100, size=4)
+        b = make_rng(np.random.SeedSequence(7)).integers(0, 100, size=4)
+        assert (a == b).all()
+
+
+class TestDeriveRng:
+    def test_same_labels_same_stream(self):
+        a = derive_rng(5, "data").integers(0, 2**32, size=8)
+        b = derive_rng(5, "data").integers(0, 2**32, size=8)
+        assert (a == b).all()
+
+    def test_different_labels_different_streams(self):
+        a = derive_rng(5, "data").integers(0, 2**32, size=8)
+        b = derive_rng(5, "weights").integers(0, 2**32, size=8)
+        assert (a != b).any()
+
+    def test_int_labels(self):
+        a = derive_rng(5, 1, 2).integers(0, 2**32, size=4)
+        b = derive_rng(5, 1, 3).integers(0, 2**32, size=4)
+        assert (a != b).any()
+
+    def test_generator_parent_advances(self):
+        parent = np.random.default_rng(9)
+        a = derive_rng(parent, "x")
+        b = derive_rng(parent, "x")
+        # Same label but the parent advanced, so streams differ.
+        assert (
+            a.integers(0, 2**32, size=8) != b.integers(0, 2**32, size=8)
+        ).any()
+
+
+class TestHelpers:
+    def test_random_bytes_length(self):
+        assert len(random_bytes(make_rng(0), 31)) == 31
+
+    def test_random_bytes_deterministic(self):
+        assert random_bytes(make_rng(3), 16) == random_bytes(make_rng(3), 16)
+
+    def test_spawn_seed_range(self):
+        seed = spawn_seed(make_rng(1))
+        assert 0 <= seed < 2**63
