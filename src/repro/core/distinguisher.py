@@ -86,6 +86,12 @@ class MLDistinguisher:
     conclusion (Dense 128 - Dense 1024 - softmax); any
     :class:`~repro.nn.model.Sequential` with a ``t``-way softmax output
     works.
+
+    ``workers`` shards offline dataset generation across processes
+    (``None`` keeps the historical single-stream generator; see
+    :mod:`repro.core.parallel`).  ``dtype`` selects the network compute
+    precision (``"float32"`` or ``"float64"``; ``None`` keeps the
+    model's own default).
     """
 
     def __init__(
@@ -95,12 +101,16 @@ class MLDistinguisher:
         epochs: int = 5,
         batch_size: int = 128,
         rng=None,
+        workers: Optional[int] = None,
+        dtype=None,
     ):
         if epochs <= 0:
             raise DistinguisherError(f"epochs must be positive, got {epochs}")
         self.scenario = scenario
         self.epochs = int(epochs)
         self.batch_size = int(batch_size)
+        self.workers = workers
+        self.dtype = dtype
         self._rng = make_rng(rng)
         if model is None:
             model = minimal_three_layer(num_classes=scenario.num_classes)
@@ -126,11 +136,15 @@ class MLDistinguisher:
         t = self.scenario.num_classes
         n_per_class = max(1, num_samples // t)
         data_rng = derive_rng(self._rng, "offline-data")
-        x, y = self.scenario.generate_dataset(n_per_class, rng=data_rng)
+        x, y = self.scenario.generate_dataset(
+            n_per_class, rng=data_rng, workers=self.workers
+        )
         if not self.model.layers or self.model.input_shape is None:
             self.model.build(x.shape[1:], derive_rng(self._rng, "weights"))
         if self.model.loss is None:
-            self.model.compile()
+            self.model.compile(dtype=self.dtype)
+        elif self.dtype is not None:
+            self.model.set_dtype(self.dtype)
         cut = int(round(x.shape[0] * (1.0 - validation_split)))
         if cut <= 0 or cut >= x.shape[0]:
             raise DistinguisherError(

@@ -35,7 +35,7 @@ from repro.ciphers.toyspeck import encrypt_batch as toyspeck_encrypt_batch
 from repro.core.oracle import CipherOracle, Oracle, RandomOracle
 from repro.errors import DistinguisherError
 from repro.utils.encoding import state_to_bits
-from repro.utils.rng import make_rng
+from repro.utils.rng import make_rng, random_words
 
 
 def _byte_flip_mask(byte_index: int, bit: int = 0) -> Tuple[int, int]:
@@ -114,6 +114,7 @@ class DifferentialScenario(abc.ABC):
         rng=None,
         oracle: Optional[Oracle] = None,
         shuffle: bool = True,
+        workers: Optional[int] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Labelled output-difference samples (Algorithm 2's data step).
 
@@ -122,10 +123,25 @@ class DifferentialScenario(abc.ABC):
         bit vector of ``C ⊕ C_i`` labelled ``i``.  Returns
         ``(features, labels)`` with ``features`` float32 of shape
         ``(n_per_class * t, feature_bits)``.
+
+        ``workers=None`` (the default) keeps the historical single-stream
+        path.  Any integer ``workers >= 1`` switches to the sharded
+        generator of :mod:`repro.core.parallel`, whose output is
+        bit-identical for every worker count (including 1) but differs
+        from the ``workers=None`` stream.  Custom ``oracle`` objects may
+        carry state (e.g. a memoised :class:`RandomOracle`) that cannot
+        be shared across processes, so they always run on the
+        single-stream path.
         """
         if n_per_class <= 0:
             raise DistinguisherError(
                 f"n_per_class must be positive, got {n_per_class}"
+            )
+        if workers is not None and oracle is None:
+            from repro.core.parallel import generate_dataset_sharded
+
+            return generate_dataset_sharded(
+                self, n_per_class, rng=rng, shuffle=shuffle, workers=workers
             )
         generator = make_rng(rng)
         if oracle is None:
@@ -220,14 +236,10 @@ class GimliCipherScenario(DifferentialScenario):
         self.total_rounds = int(total_rounds)
 
     def sample_base_inputs(self, n, rng):
-        return rng.integers(0, 1 << 32, size=(n, 4), dtype=np.uint64).astype(
-            np.uint32
-        )
+        return random_words(rng, (n, 4))
 
     def sample_context(self, n, rng):
-        return rng.integers(0, 1 << 32, size=(n, 8), dtype=np.uint64).astype(
-            np.uint32
-        )
+        return random_words(rng, (n, 8))
 
     def pipeline(self, inputs, context=None):
         if context is None:
@@ -272,9 +284,7 @@ class GimliPermutationScenario(DifferentialScenario):
         self.rounds = int(rounds)
 
     def sample_base_inputs(self, n, rng):
-        return rng.integers(0, 1 << 32, size=(n, 12), dtype=np.uint64).astype(
-            np.uint32
-        )
+        return random_words(rng, (n, 12))
 
     def pipeline(self, inputs, context=None):
         del context

@@ -1,16 +1,27 @@
-"""Experiment scaling.
+"""Experiment scaling and hot-path knobs.
 
 The paper trained on ``2^17.6 ≈ 199,000`` samples for 20 epochs on an
 RTX 8000; the same numbers on CPU numpy take minutes per table row.  All
 experiments therefore take explicit sizes, with defaults derived from
 the paper's sizes times ``REPRO_SCALE`` (``0.0 < scale <= 1.0``).
 ``REPRO_SCALE=1.0`` reproduces the paper's data budget exactly.
+
+Two further environment knobs tune the engine without changing any
+experiment's semantics:
+
+* ``REPRO_WORKERS`` — dataset-generation worker count.  Unset keeps the
+  historical single-stream generator; any integer ``>= 1`` switches to
+  the sharded generator of :mod:`repro.core.parallel`, which is
+  bit-identical across worker counts.
+* ``REPRO_DTYPE`` — compute dtype for the neural networks (``float32``
+  or ``float64``; unset keeps the float64 default).
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ExperimentError
 
@@ -44,6 +55,36 @@ def get_scale() -> float:
             f"REPRO_SCALE must be in (0, 1], got {scale}"
         )
     return scale
+
+
+def get_workers() -> Optional[int]:
+    """Read ``REPRO_WORKERS`` (unset -> ``None``: single-stream path)."""
+    raw = os.environ.get("REPRO_WORKERS", "")
+    if not raw:
+        return None
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ExperimentError(
+            f"REPRO_WORKERS must be a positive integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ExperimentError(
+            f"REPRO_WORKERS must be a positive integer, got {workers}"
+        )
+    return workers
+
+
+def get_dtype() -> Optional[str]:
+    """Read ``REPRO_DTYPE`` (unset -> ``None``: keep the float64 default)."""
+    raw = os.environ.get("REPRO_DTYPE", "")
+    if not raw:
+        return None
+    if raw not in ("float32", "float64"):
+        raise ExperimentError(
+            f"REPRO_DTYPE must be 'float32' or 'float64', got {raw!r}"
+        )
+    return raw
 
 
 @dataclass(frozen=True)

@@ -28,7 +28,7 @@ from repro.diffcrypt.trail_search import (
     default_seeds,
     find_weight_zero_trails,
 )
-from repro.utils.rng import make_rng
+from repro.utils.rng import make_rng, random_words
 
 
 def verify_trail_empirically(
@@ -40,8 +40,7 @@ def verify_trail_empirically(
     """Monte-Carlo probability that the trail's input/output differences
     hold on the real round-reduced permutation (ignores inner rounds)."""
     generator = make_rng(rng)
-    states = generator.integers(0, 1 << 32, size=(samples, 12), dtype=np.uint64)
-    states = states.astype(np.uint32)
+    states = random_words(generator, (samples, 12))
     delta_in = np.array(trail.input_difference, dtype=np.uint32)
     delta_out = np.array(trail.output_difference, dtype=np.uint32)
     out_a = gimli_permute_batch(states, trail.rounds, start_round)

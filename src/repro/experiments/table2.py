@@ -23,7 +23,7 @@ from typing import Dict, Optional, Sequence
 from repro.core.distinguisher import MLDistinguisher
 from repro.core.scenario import GimliCipherScenario, GimliHashScenario
 from repro.errors import DistinguisherAborted
-from repro.experiments.config import default_scale
+from repro.experiments.config import default_scale, get_dtype, get_workers
 from repro.nn.architectures import mlp_ii
 from repro.utils.rng import derive_rng, make_rng
 
@@ -66,10 +66,13 @@ def run_table2(
     epochs: Optional[int] = None,
     run_online: bool = True,
     rng=None,
+    workers: Optional[int] = None,
+    dtype: Optional[str] = None,
 ) -> Dict:
     """Regenerate Table 2 (accuracy per round count and target).
 
     Defaults come from ``REPRO_SCALE``; pass explicit sizes to override.
+    ``workers``/``dtype`` default to ``REPRO_WORKERS``/``REPRO_DTYPE``.
     Each row reports the offline validation accuracy plus — when
     ``run_online`` — the online accuracies and verdicts against the
     cipher and a random oracle.
@@ -78,6 +81,8 @@ def run_table2(
     offline = offline_samples if offline_samples is not None else scale.offline_samples
     online = online_samples if online_samples is not None else scale.online_samples
     n_epochs = epochs if epochs is not None else scale.table2_epochs
+    workers = workers if workers is not None else get_workers()
+    dtype = dtype if dtype is not None else get_dtype()
     generator = make_rng(rng)
     rows = []
     for target in targets:
@@ -89,6 +94,8 @@ def run_table2(
                 epochs=n_epochs,
                 batch_size=256,
                 rng=derive_rng(generator, target, r),
+                workers=workers,
+                dtype=dtype,
             )
             row_offline = offline
             row_online = online

@@ -13,7 +13,7 @@ import time
 from typing import Dict, Optional, Sequence
 
 from repro.core.scenario import GimliCipherScenario
-from repro.experiments.config import default_scale
+from repro.experiments.config import default_scale, get_dtype, get_workers
 from repro.nn.architectures import (
     TABLE3_NETWORKS,
     TABLE3_PAPER_ACCURACY,
@@ -30,22 +30,27 @@ def run_table3(
     epochs: Optional[int] = None,
     batch_size: int = 256,
     rng=None,
+    workers: Optional[int] = None,
+    dtype: Optional[str] = None,
 ) -> Dict:
     """Regenerate Table 3: per-network parameters, training time, accuracy.
 
     All networks see the *same* dataset (fresh per invocation), as in a
-    manual architecture search.  ``networks`` defaults to all ten.
+    manual architecture search.  ``networks`` defaults to all ten;
+    ``workers``/``dtype`` default to ``REPRO_WORKERS``/``REPRO_DTYPE``.
     """
     scale = default_scale()
     n_samples = num_samples if num_samples is not None else scale.table3_samples
     n_epochs = epochs if epochs is not None else scale.table3_epochs
     names = list(networks) if networks is not None else list(TABLE3_NETWORKS)
+    workers = workers if workers is not None else get_workers()
+    dtype = dtype if dtype is not None else get_dtype()
     generator = make_rng(rng)
 
     scenario = GimliCipherScenario(total_rounds=total_rounds)
     n_per_class = max(1, n_samples // scenario.num_classes)
     x, y = scenario.generate_dataset(
-        n_per_class, rng=derive_rng(generator, "data")
+        n_per_class, rng=derive_rng(generator, "data"), workers=workers
     )
     cut = int(round(x.shape[0] * 0.9))
     x_train, y_train = x[:cut], y[:cut]
@@ -55,7 +60,7 @@ def run_table3(
     for name in names:
         model = get_table3_network(name)
         model.build((x.shape[1],), rng=derive_rng(generator, "weights", name))
-        model.compile()
+        model.compile(dtype=dtype)
         start = time.perf_counter()
         model.fit(
             x_train,

@@ -46,13 +46,19 @@ class BatchNorm(Layer):
     def build(self, input_shape, rng):
         del rng
         features = int(input_shape[-1])
-        gamma = np.ones(features, dtype=np.float64)
-        beta = np.zeros(features, dtype=np.float64)
+        gamma = np.ones(features, dtype=self.dtype)
+        beta = np.zeros(features, dtype=self.dtype)
         self.params = [gamma, beta]
         self.grads = [np.zeros_like(gamma), np.zeros_like(beta)]
-        self.running_mean = np.zeros(features, dtype=np.float64)
-        self.running_var = np.ones(features, dtype=np.float64)
+        self.running_mean = np.zeros(features, dtype=self.dtype)
+        self.running_var = np.ones(features, dtype=self.dtype)
         self.built = True
+
+    def set_dtype(self, dtype):
+        super().set_dtype(dtype)
+        if self.running_mean is not None:
+            self.running_mean = self.running_mean.astype(self.dtype, copy=False)
+            self.running_var = self.running_var.astype(self.dtype, copy=False)
 
     def _axes(self, x: np.ndarray) -> Tuple[int, ...]:
         return tuple(range(x.ndim - 1))
@@ -113,9 +119,16 @@ class ResidualBlock(Layer):
             raise LayerError("a residual block needs at least one inner layer")
         self.inner: List[Layer] = list(inner)
 
+    def set_dtype(self, dtype):
+        # params/grads are properties backed by the inner layers.
+        self.dtype = np.dtype(dtype)
+        for layer in self.inner:
+            layer.set_dtype(dtype)
+
     def build(self, input_shape, rng):
         shape = tuple(input_shape)
         for layer in self.inner:
+            layer.set_dtype(self.dtype)
             if not layer.built:
                 layer.build(shape, rng)
             shape = layer.output_shape(shape)

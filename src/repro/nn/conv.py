@@ -57,10 +57,12 @@ class Conv1D(Layer):
                 f"kernel size {self.kernel_size} exceeds {steps} input steps"
             )
         init = get_initializer(self.kernel_initializer)
-        kernel = init((self.kernel_size, channels, self.filters), rng)
+        kernel = init((self.kernel_size, channels, self.filters), rng).astype(
+            self.dtype, copy=False
+        )
         self.params = [kernel]
         if self.use_bias:
-            self.params.append(np.zeros(self.filters, dtype=np.float64))
+            self.params.append(np.zeros(self.filters, dtype=self.dtype))
         self.grads = [np.zeros_like(p) for p in self.params]
         self.built = True
 
@@ -71,7 +73,7 @@ class Conv1D(Layer):
         self._x = x if training else None
         kernel = self.params[0]
         out_steps = x.shape[1] - self.kernel_size + 1
-        out = np.zeros((x.shape[0], out_steps, self.filters), dtype=np.float64)
+        out = np.zeros((x.shape[0], out_steps, self.filters), dtype=x.dtype)
         for offset in range(self.kernel_size):
             out += x[:, offset:offset + out_steps, :] @ kernel[offset]
         if self.use_bias:
@@ -146,8 +148,8 @@ class MaxPool1D(Layer):
         shape, usable, argmax = self._cache
         n, steps, channels = shape
         pooled = usable // self.pool_size
-        x_grad = np.zeros(shape, dtype=np.float64)
-        windows = np.zeros((n, pooled, self.pool_size, channels), dtype=np.float64)
+        x_grad = np.zeros(shape, dtype=grad.dtype)
+        windows = np.zeros((n, pooled, self.pool_size, channels), dtype=grad.dtype)
         n_idx, p_idx, c_idx = np.meshgrid(
             np.arange(n), np.arange(pooled), np.arange(channels), indexing="ij"
         )

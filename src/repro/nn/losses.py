@@ -24,8 +24,8 @@ class Loss:
         raise NotImplementedError
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """Encode integer labels as one-hot rows."""
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarray:
+    """Encode integer labels as one-hot rows (``dtype`` columns)."""
     labels = np.asarray(labels)
     if labels.ndim != 1:
         raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
@@ -34,7 +34,7 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
             f"labels must lie in [0, {num_classes}), got range "
             f"[{labels.min()}, {labels.max()}]"
         )
-    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=dtype)
     encoded[np.arange(labels.shape[0]), labels] = 1.0
     return encoded
 
@@ -67,6 +67,24 @@ class CategoricalCrossentropy(Loss):
         loss = -(y_true * np.log(clipped)).sum() / n
         grad = -(y_true / clipped) / n
         return float(loss), grad
+
+    def value(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        """Loss value only — used by the fused softmax+CCE training path,
+        where the gradient ``(p - y) / n`` is formed directly and the
+        Jacobian-product gradient above would be wasted work."""
+        if y_true.shape != y_pred.shape:
+            raise ShapeError(
+                f"label shape {y_true.shape} != prediction shape {y_pred.shape}"
+            )
+        n = y_true.shape[0]
+        if n == 0:
+            raise TrainingError("cannot evaluate a loss on an empty batch")
+        if self.from_logits:
+            shifted = y_pred - y_pred.max(axis=-1, keepdims=True)
+            log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+            return float(-(y_true * log_probs).sum() / n)
+        clipped = np.clip(y_pred, _EPS, 1.0)
+        return float(-(y_true * np.log(clipped)).sum() / n)
 
 
 class BinaryCrossentropy(Loss):

@@ -4,6 +4,18 @@ Supports ``compile`` / ``fit`` / ``evaluate`` / ``predict``, shuffled
 mini-batches, validation splits, per-epoch history, parameter counting
 (the Table 3 column), and ``.npz`` persistence standing in for the
 paper's ``.h5`` model files.
+
+Two hot-path features live here:
+
+* **Dtype policy.**  ``compile(..., dtype="float32")`` switches the
+  whole stack (parameters, activations, targets, optimizer state) to
+  float32, roughly halving matmul time and memory traffic.  The default
+  stays float64 so the exact-gradient tests are unaffected.
+* **Fused softmax + cross-entropy.**  When the last layer is ``Softmax``
+  and the loss is probability-space ``CategoricalCrossentropy``, the
+  training step backpropagates ``(p - y) / n`` directly into the layer
+  below the softmax, skipping the softmax Jacobian product (the two are
+  algebraically identical; the kernel-equivalence tests check it).
 """
 
 from __future__ import annotations
@@ -19,8 +31,8 @@ from repro.nn import conv as conv_mod
 from repro.nn import layers as layers_mod
 from repro.nn import recurrent as recurrent_mod
 from repro.nn.callbacks import Callback, History
-from repro.nn.layers import Layer
-from repro.nn.losses import Loss, get_loss, one_hot
+from repro.nn.layers import Layer, Softmax
+from repro.nn.losses import CategoricalCrossentropy, Loss, get_loss, one_hot
 from repro.nn.metrics import get_metric
 from repro.nn.optimizers import Optimizer, get_optimizer
 from repro.utils.rng import make_rng
@@ -45,6 +57,8 @@ class Sequential:
         self.loss: Optional[Loss] = None
         self.optimizer: Optional[Optimizer] = None
         self.metric_names: List[str] = []
+        self.dtype: np.dtype = np.dtype(np.float64)
+        self._output_units: Optional[int] = None
 
     def add(self, layer: Layer) -> "Sequential":
         """Append a layer; returns self for chaining."""
@@ -63,9 +77,13 @@ class Sequential:
         shape = tuple(int(s) for s in input_shape)
         self.input_shape = shape
         for layer in self.layers:
+            layer.set_dtype(self.dtype)
             if not layer.built:
                 layer.build(shape, generator)
             shape = layer.output_shape(shape)
+        # Cache the output width so target encoding does not re-walk the
+        # whole stack's output_shape chain on every fit/evaluate call.
+        self._output_units = int(shape[-1])
         return self
 
     def compile(
@@ -73,11 +91,29 @@ class Sequential:
         loss="categorical_crossentropy",
         optimizer="adam",
         metrics: Sequence[str] = ("accuracy",),
+        dtype=None,
     ) -> "Sequential":
-        """Attach loss, optimizer and metrics (Keras-style)."""
+        """Attach loss, optimizer and metrics (Keras-style).
+
+        ``dtype`` selects the compute precision (``"float32"`` or
+        ``"float64"``); ``None`` keeps the current policy (float64 by
+        default).  Already-built parameters are cast in place.
+        """
         self.loss = get_loss(loss)
         self.optimizer = get_optimizer(optimizer)
         self.metric_names = list(metrics)
+        if dtype is not None:
+            self.set_dtype(dtype)
+        return self
+
+    def set_dtype(self, dtype) -> "Sequential":
+        """Switch the model's compute dtype, casting built parameters."""
+        dtype = np.dtype(dtype)
+        if dtype.kind != "f":
+            raise TrainingError(f"model dtype must be a float type, got {dtype}")
+        self.dtype = dtype
+        for layer in self.layers:
+            layer.set_dtype(dtype)
         return self
 
     def count_params(self) -> int:
@@ -100,11 +136,20 @@ class Sequential:
 
     # -- forward / backward ------------------------------------------------
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        """Run the full stack."""
-        out = np.asarray(x, dtype=np.float64)
+    def forward(self, x: np.ndarray, training: bool = False, rng=None) -> np.ndarray:
+        """Run the full stack.
+
+        ``rng`` is routed to stochastic layers (Dropout) so a whole
+        training run is reproducible from ``fit``'s single generator.
+        """
+        out = np.asarray(x, dtype=self.dtype)
+        if rng is not None:
+            rng = make_rng(rng)
         for layer in self.layers:
-            out = layer.forward(out, training=training)
+            if layer.stochastic:
+                out = layer.forward(out, training=training, rng=rng)
+            else:
+                out = layer.forward(out, training=training)
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -121,6 +166,45 @@ class Sequential:
                 params.extend(layer.params)
                 grads.extend(layer.grads)
         return params, grads
+
+    def _fused_softmax_cce(self) -> bool:
+        """True when the fused softmax+CCE backward rule applies."""
+        return (
+            bool(self.layers)
+            and isinstance(self.layers[-1], Softmax)
+            and isinstance(self.loss, CategoricalCrossentropy)
+            and not self.loss.from_logits
+        )
+
+    def _train_step(
+        self, xb: np.ndarray, yb: np.ndarray, fused: bool, rng=None
+    ) -> Tuple[float, np.ndarray]:
+        """One forward/backward/update step; returns ``(loss, pred)``."""
+        pred = self.forward(xb, training=True, rng=rng)
+        if fused:
+            loss_value = self.loss.value(yb, pred)
+            # d(loss)/d(logits) = (p - y) / n: feed it straight into the
+            # layer below the softmax, skipping the Jacobian product.
+            grad = (pred - yb) / yb.shape[0]
+            for layer in reversed(self.layers[:-1]):
+                grad = layer.backward(grad)
+        else:
+            loss_value, grad = self.loss(yb, pred)
+            self.backward(grad)
+        params, grads = self._gather()
+        self.optimizer.update(params, grads)
+        return loss_value, pred
+
+    def train_on_batch(self, x: np.ndarray, y: np.ndarray, rng=None) -> float:
+        """Run a single gradient step on one batch; returns the loss."""
+        if self.loss is None or self.optimizer is None:
+            raise TrainingError("compile the model before training")
+        x = np.asarray(x, dtype=self.dtype)
+        if self.input_shape is None:
+            self.build(x.shape[1:], rng)
+        y = self._encode_targets(x, y)
+        loss_value, _ = self._train_step(x, y, self._fused_softmax_cce(), rng=rng)
+        return loss_value
 
     # -- training ----------------------------------------------------------
 
@@ -148,7 +232,7 @@ class Sequential:
             raise TrainingError(f"epochs must be positive, got {epochs}")
         if batch_size <= 0:
             raise TrainingError(f"batch size must be positive, got {batch_size}")
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         if self.input_shape is None:
             self.build(x.shape[1:], rng)
         y = self._encode_targets(x, y)
@@ -168,6 +252,7 @@ class Sequential:
             validation_data = (x[cut:], y[cut:])
             x, y = x[:cut], y[:cut]
 
+        fused = self._fused_softmax_cce()
         history = History()
         n = x.shape[0]
         for epoch in range(epochs):
@@ -178,11 +263,7 @@ class Sequential:
             for begin in range(0, n, batch_size):
                 idx = order[begin:begin + batch_size]
                 xb, yb = x[idx], y[idx]
-                pred = self.forward(xb, training=True)
-                loss_value, grad = self.loss(yb, pred)
-                self.backward(grad)
-                params, grads = self._gather()
-                self.optimizer.update(params, grads)
+                loss_value, pred = self._train_step(xb, yb, fused, rng=generator)
                 epoch_loss += loss_value * len(idx)
                 correct += (pred.argmax(axis=1) == yb.argmax(axis=1)).sum()
             values: Dict[str, float] = {
@@ -209,26 +290,32 @@ class Sequential:
                 break
         return history
 
-    def _encode_targets(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        y = np.asarray(y)
-        if y.ndim == 1:
+    def _output_width(self) -> int:
+        """The model's output width, cached at build time."""
+        if self._output_units is None:
             if self.input_shape is None:
                 raise TrainingError("build the model before encoding labels")
             shape = self.input_shape
             for layer in self.layers:
                 shape = layer.output_shape(shape)
-            y = one_hot(y.astype(np.int64), shape[-1])
+            self._output_units = int(shape[-1])
+        return self._output_units
+
+    def _encode_targets(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y)
+        if y.ndim == 1:
+            y = one_hot(y.astype(np.int64), self._output_width(), dtype=self.dtype)
         if y.shape[0] != x.shape[0]:
             raise TrainingError(
                 f"x has {x.shape[0]} samples but y has {y.shape[0]}"
             )
-        return y.astype(np.float64)
+        return y.astype(self.dtype, copy=False)
 
     # -- inference ---------------------------------------------------------
 
     def predict(self, x: np.ndarray, batch_size: int = 4096) -> np.ndarray:
         """Forward pass in inference mode, batched to bound memory."""
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         outputs = []
         for begin in range(0, x.shape[0], batch_size):
             outputs.append(self.forward(x[begin:begin + batch_size], training=False))
@@ -244,7 +331,7 @@ class Sequential:
         """Return ``(loss, {metric: value})`` on a dataset."""
         if self.loss is None:
             raise TrainingError("compile the model before evaluating")
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         y = self._encode_targets(x, y)
         pred = self.predict(x, batch_size)
         loss_value, _ = self.loss(y, pred)
@@ -261,6 +348,7 @@ class Sequential:
             raise TrainingError("build the model before saving it")
         config = {
             "input_shape": list(self.input_shape),
+            "dtype": self.dtype.name,
             "layers": [
                 {"class": layer.name, "config": layer.get_config()}
                 for layer in self.layers
@@ -283,6 +371,7 @@ class Sequential:
                     for entry in config["layers"]
                 ]
             )
+            model.dtype = np.dtype(config.get("dtype", "float64"))
             model.build(config["input_shape"], rng=0)
             for i, layer in enumerate(model.layers):
                 for j in range(len(layer.params)):

@@ -50,9 +50,11 @@ class LSTM(Layer):
             )
         _steps, features = input_shape
         init = get_initializer(self.kernel_initializer)
-        kernel = init((features, 4 * self.units), rng)
-        recurrent = init((self.units, 4 * self.units), rng)
-        bias = np.zeros(4 * self.units, dtype=np.float64)
+        kernel = init((features, 4 * self.units), rng).astype(self.dtype, copy=False)
+        recurrent = init((self.units, 4 * self.units), rng).astype(
+            self.dtype, copy=False
+        )
+        bias = np.zeros(4 * self.units, dtype=self.dtype)
         bias[self.units:2 * self.units] = 1.0  # forget-gate bias
         self.params = [kernel, recurrent, bias]
         self.grads = [np.zeros_like(p) for p in self.params]
@@ -62,18 +64,19 @@ class LSTM(Layer):
         kernel, recurrent, bias = self.params
         n, steps, _features = x.shape
         units = self.units
-        h = np.zeros((n, units), dtype=np.float64)
-        c = np.zeros((n, units), dtype=np.float64)
-        hs = np.zeros((n, steps, units), dtype=np.float64)
+        dtype = x.dtype
+        h = np.zeros((n, units), dtype=dtype)
+        c = np.zeros((n, units), dtype=dtype)
+        hs = np.zeros((n, steps, units), dtype=dtype)
         cache = {
             "x": x,
-            "i": np.zeros((n, steps, units)),
-            "f": np.zeros((n, steps, units)),
-            "g": np.zeros((n, steps, units)),
-            "o": np.zeros((n, steps, units)),
-            "c": np.zeros((n, steps, units)),
-            "c_prev": np.zeros((n, steps, units)),
-            "h_prev": np.zeros((n, steps, units)),
+            "i": np.zeros((n, steps, units), dtype=dtype),
+            "f": np.zeros((n, steps, units), dtype=dtype),
+            "g": np.zeros((n, steps, units), dtype=dtype),
+            "o": np.zeros((n, steps, units), dtype=dtype),
+            "c": np.zeros((n, steps, units), dtype=dtype),
+            "c_prev": np.zeros((n, steps, units), dtype=dtype),
+            "h_prev": np.zeros((n, steps, units), dtype=dtype),
         }
         for t in range(steps):
             z = x[:, t, :] @ kernel + h @ recurrent + bias
@@ -103,18 +106,19 @@ class LSTM(Layer):
         n, steps, features = x.shape
         units = self.units
 
+        dtype = x.dtype
         if self.return_sequences:
             grad_hs = grad
         else:
-            grad_hs = np.zeros((n, steps, units), dtype=np.float64)
+            grad_hs = np.zeros((n, steps, units), dtype=dtype)
             grad_hs[:, -1, :] = grad
 
         kernel_grad = np.zeros_like(kernel)
         recurrent_grad = np.zeros_like(recurrent)
-        bias_grad = np.zeros(4 * units, dtype=np.float64)
+        bias_grad = np.zeros(4 * units, dtype=dtype)
         x_grad = np.zeros_like(x)
-        dh_next = np.zeros((n, units), dtype=np.float64)
-        dc_next = np.zeros((n, units), dtype=np.float64)
+        dh_next = np.zeros((n, units), dtype=dtype)
+        dc_next = np.zeros((n, units), dtype=dtype)
 
         for t in range(steps - 1, -1, -1):
             i = cache["i"][:, t, :]

@@ -63,6 +63,24 @@ def _label_to_int(label: Union[int, str]) -> int:
     return acc
 
 
+_WORD_DTYPES = {8: np.uint8, 16: np.uint16, 32: np.uint32, 64: np.uint64}
+
+
+def random_words(rng: np.random.Generator, shape, width: int = 32) -> np.ndarray:
+    """Draw uniform ``width``-bit words directly in their native dtype.
+
+    Replaces the ``integers(..., dtype=uint64).astype(uint32)`` idiom,
+    which samples twice the entropy it keeps and allocates a second
+    array for the downcast.
+    """
+    try:
+        dtype = _WORD_DTYPES[int(width)]
+    except (KeyError, ValueError):
+        known = ", ".join(str(w) for w in sorted(_WORD_DTYPES))
+        raise ValueError(f"unsupported word width {width!r}; known: {known}") from None
+    return rng.integers(0, 1 << int(width), size=shape, dtype=dtype)
+
+
 def random_bytes(rng: np.random.Generator, n: int) -> bytes:
     """Draw ``n`` uniformly random bytes from ``rng``."""
     return rng.integers(0, 256, size=n, dtype=np.uint8).tobytes()

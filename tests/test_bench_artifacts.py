@@ -1,0 +1,112 @@
+"""Tests for the committed benchmark artefacts and their validator.
+
+``make bench`` regenerates ``benchmarks/BENCH_*.json``; these tests keep
+the committed baselines well-formed and the validator honest about
+rejecting garbage.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _load_runner():
+    spec = importlib.util.spec_from_file_location(
+        "run_benchmarks", BENCH_DIR / "run_benchmarks.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+runner = _load_runner()
+
+
+@pytest.mark.parametrize("suite", ["nn_ops", "ciphers"])
+class TestCommittedBaselines:
+    def test_baseline_exists_and_validates(self, suite):
+        path = BENCH_DIR / f"BENCH_{suite}.json"
+        assert path.exists(), f"missing committed baseline {path.name}"
+        runner.validate_bench_file(path)
+
+    def test_baseline_names_cover_suite(self, suite):
+        report = json.loads((BENCH_DIR / f"BENCH_{suite}.json").read_text())
+        names = {entry["name"] for entry in report["benchmarks"]}
+        expected = {
+            "nn_ops": {
+                "test_mlp_iii_train_step_dtype[float32]",
+                "test_mlp_iii_train_step_dtype[float64]",
+                "test_inference_throughput",
+            },
+            "ciphers": {"test_gimli_full_rounds", "test_gimli_8_rounds"},
+        }[suite]
+        assert expected <= names
+
+
+class TestValidator:
+    def _reject(self, tmp_path, payload, match):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(payload if isinstance(payload, str) else json.dumps(payload))
+        with pytest.raises(ValueError, match=match):
+            runner.validate_bench_file(path)
+
+    def test_rejects_invalid_json(self, tmp_path):
+        self._reject(tmp_path, "{not json", "invalid JSON")
+
+    def test_rejects_missing_keys(self, tmp_path):
+        self._reject(tmp_path, {"suite": "x", "quick": False}, "missing key")
+
+    def test_rejects_empty_benchmarks(self, tmp_path):
+        self._reject(
+            tmp_path,
+            {"suite": "x", "quick": False, "benchmarks": []},
+            "non-empty",
+        )
+
+    def test_rejects_nonpositive_mean(self, tmp_path):
+        self._reject(
+            tmp_path,
+            {
+                "suite": "x",
+                "quick": False,
+                "benchmarks": [
+                    {"name": "a", "mean_s": 0.0, "stddev_s": 0.0, "rounds": 1}
+                ],
+            },
+            "non-positive mean_s",
+        )
+
+    def test_rejects_missing_entry_field(self, tmp_path):
+        self._reject(
+            tmp_path,
+            {
+                "suite": "x",
+                "quick": False,
+                "benchmarks": [{"name": "a", "mean_s": 1.0}],
+            },
+            "missing",
+        )
+
+    def test_accepts_wellformed(self, tmp_path):
+        path = tmp_path / "BENCH_ok.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "suite": "ok",
+                    "quick": True,
+                    "benchmarks": [
+                        {
+                            "name": "a",
+                            "mean_s": 0.01,
+                            "stddev_s": 0.001,
+                            "rounds": 3,
+                        }
+                    ],
+                }
+            )
+        )
+        runner.validate_bench_file(path)

@@ -81,6 +81,30 @@ class TestBatchParity:
         batch = gimli_permute_batch(np.array(state, dtype=np.uint32), rounds)
         assert scalar == [int(w) for w in batch]
 
+    @settings(max_examples=25, deadline=None)
+    @given(state_strategy, st.integers(1, 24), st.integers(0, 24))
+    def test_batch_matches_scalar_off_default_window(self, state, start, budget):
+        """Parity must also hold for round windows not starting at 24 —
+        the swap/constant schedule depends on the absolute round index."""
+        rounds = min(budget, start)
+        scalar = gimli_permute(state, rounds, start_round=start)
+        batch = gimli_permute_batch(
+            np.array(state, dtype=np.uint32), rounds, start_round=start
+        )
+        assert scalar == [int(w) for w in batch]
+
+    def test_batch_rows_match_scalar_with_start_round(self, rng):
+        states = rng.integers(0, 2**32, size=(6, 12), dtype=np.uint64).astype(
+            np.uint32
+        )
+        for start, rounds in [(11, 5), (8, 8), (23, 4), (10, 3)]:
+            batch = gimli_permute_batch(states, rounds, start_round=start)
+            for i in range(states.shape[0]):
+                scalar = gimli_permute(
+                    states[i].tolist(), rounds, start_round=start
+                )
+                assert scalar == [int(w) for w in batch[i]]
+
     def test_batch_shape_preserved(self, rng):
         states = rng.integers(0, 2**32, size=(17, 12), dtype=np.uint64).astype(
             np.uint32

@@ -1,0 +1,139 @@
+"""Tests for repro.core.parallel: sharded dataset generation.
+
+The contract under test: for a fixed seed and shard size the generated
+dataset is a pure function of the seed — the worker count only changes
+scheduling, never a single bit of the output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import (
+    DEFAULT_SHARD_SIZE,
+    generate_dataset_sharded,
+    resolve_workers,
+    seed_sequence_from,
+    shard_sizes,
+)
+from repro.core.scenario import (
+    GimliCipherScenario,
+    GimliHashScenario,
+    ToySpeckScenario,
+)
+from repro.errors import DistinguisherError
+
+
+class TestShardPlan:
+    def test_exact_multiple(self):
+        assert shard_sizes(8192, 4096) == [4096, 4096]
+
+    def test_remainder_shard(self):
+        assert shard_sizes(9000, 4096) == [4096, 4096, 808]
+
+    def test_small_n_single_shard(self):
+        assert shard_sizes(100, 4096) == [100]
+
+    def test_default_shard_size(self):
+        assert sum(shard_sizes(3 * DEFAULT_SHARD_SIZE + 1)) == (
+            3 * DEFAULT_SHARD_SIZE + 1
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(DistinguisherError):
+            shard_sizes(0)
+        with pytest.raises(DistinguisherError):
+            shard_sizes(10, 0)
+
+
+class TestSeedSequenceFrom:
+    def test_int_is_deterministic(self):
+        a = seed_sequence_from(42).generate_state(4)
+        b = seed_sequence_from(42).generate_state(4)
+        assert np.array_equal(a, b)
+
+    def test_seed_sequence_passthrough(self):
+        seq = np.random.SeedSequence(7)
+        assert seed_sequence_from(seq) is seq
+
+    def test_generator_advances(self):
+        gen = np.random.default_rng(1)
+        a = seed_sequence_from(gen).generate_state(4)
+        b = seed_sequence_from(gen).generate_state(4)
+        assert not np.array_equal(a, b)
+
+
+class TestShardedGeneration:
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_bit_identical_across_worker_counts(self, workers):
+        scenario = ToySpeckScenario(rounds=3)
+        x1, y1 = generate_dataset_sharded(
+            scenario, 5000, rng=123, workers=1, shard_size=1024
+        )
+        xn, yn = generate_dataset_sharded(
+            scenario, 5000, rng=123, workers=workers, shard_size=1024
+        )
+        assert np.array_equal(x1, xn)
+        assert np.array_equal(y1, yn)
+
+    def test_scenario_entry_point_routes_to_sharded(self):
+        scenario = GimliHashScenario(rounds=4)
+        direct = generate_dataset_sharded(scenario, 3000, rng=9, workers=1)
+        via_method = scenario.generate_dataset(3000, rng=9, workers=1)
+        assert np.array_equal(direct[0], via_method[0])
+        assert np.array_equal(direct[1], via_method[1])
+
+    def test_workers_none_keeps_legacy_stream(self):
+        scenario = ToySpeckScenario(rounds=3)
+        legacy_a = scenario.generate_dataset(500, rng=5)
+        legacy_b = scenario.generate_dataset(500, rng=5)
+        assert np.array_equal(legacy_a[0], legacy_b[0])
+
+    def test_unshuffled_is_class_major(self):
+        scenario = GimliCipherScenario(total_rounds=4)
+        _, y = generate_dataset_sharded(
+            scenario, 2500, rng=3, workers=2, shard_size=1024, shuffle=False
+        )
+        expected = np.concatenate(
+            [np.full(2500, i, dtype=np.int64) for i in range(scenario.num_classes)]
+        )
+        assert np.array_equal(y, expected)
+
+    def test_shapes_and_dtype(self):
+        scenario = GimliHashScenario(rounds=4)
+        x, y = generate_dataset_sharded(scenario, 2048, rng=0, workers=2)
+        assert x.shape == (2048 * scenario.num_classes, scenario.feature_bits)
+        assert x.dtype == np.float32
+        assert y.shape == (2048 * scenario.num_classes,)
+
+    def test_balanced_labels_after_shuffle(self):
+        scenario = ToySpeckScenario(rounds=3)
+        _, y = generate_dataset_sharded(scenario, 4200, rng=1, workers=2)
+        for i in range(scenario.num_classes):
+            assert (y == i).sum() == 4200
+
+    def test_stateful_oracle_falls_back_to_legacy_path(self):
+        scenario = ToySpeckScenario(rounds=3)
+        oracle = scenario.random_oracle(rng=0)
+        with_workers = scenario.generate_dataset(
+            300, rng=8, oracle=oracle, workers=4
+        )
+        oracle_again = scenario.random_oracle(rng=0)
+        without = scenario.generate_dataset(300, rng=8, oracle=oracle_again)
+        assert np.array_equal(with_workers[0], without[0])
+
+    def test_rejects_bad_workers(self):
+        scenario = ToySpeckScenario(rounds=3)
+        with pytest.raises(DistinguisherError):
+            generate_dataset_sharded(scenario, 100, rng=0, workers=0)
+
+
+class TestResolveWorkers:
+    def test_none_is_one(self):
+        assert resolve_workers(None) == 1
+
+    def test_clamped_to_cpu_count(self):
+        assert resolve_workers(10_000) >= 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DistinguisherError):
+            resolve_workers(0)

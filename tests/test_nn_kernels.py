@@ -1,0 +1,213 @@
+"""Kernel-equivalence tests for the hot-path rewrites.
+
+The fused softmax+CCE backward, the in-place optimizers and the Dense
+``out=`` backward are pure performance work: each must match its
+reference formulation — the optimizers bit-for-bit (their arithmetic
+order is preserved), the fused gradient to float tolerance (it is
+algebraically identical but rounds differently).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Dropout, ReLU, Softmax
+from repro.nn.losses import CategoricalCrossentropy, one_hot
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD, Adam
+
+
+def _toy_batch(seed=0, n=32, features=16, classes=3):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, features))
+    y = one_hot(rng.integers(0, classes, n), classes)
+    return x, y
+
+
+def _toy_model(classes=3, seed=7):
+    model = Sequential([Dense(24), ReLU(), Dense(classes), Softmax()])
+    model.build((16,), rng=seed)
+    return model
+
+
+class TestFusedSoftmaxCCE:
+    def test_fused_flag_detection(self):
+        model = _toy_model()
+        model.compile()
+        assert model._fused_softmax_cce()
+        model.compile(loss=CategoricalCrossentropy(from_logits=True))
+        assert not model._fused_softmax_cce()
+        no_softmax = Sequential([Dense(3)])
+        no_softmax.build((16,), rng=0)
+        no_softmax.compile()
+        assert not no_softmax._fused_softmax_cce()
+
+    def test_fused_gradient_matches_jacobian_path(self):
+        x, y = _toy_batch()
+        loss = CategoricalCrossentropy()
+        fused = _toy_model()
+        unfused = _toy_model()
+        pred_f = fused.forward(x, training=True)
+        pred_u = unfused.forward(x, training=True)
+        assert np.array_equal(pred_f, pred_u)
+        # Fused: (p - y) / n straight into the layer below the softmax.
+        grad = (pred_f - y) / y.shape[0]
+        for layer in reversed(fused.layers[:-1]):
+            grad = layer.backward(grad)
+        # Reference: CCE gradient through the softmax Jacobian.
+        _, grad_u = loss(y, pred_u)
+        unfused.backward(grad_u)
+        for pf, pu in zip(fused._gather()[1], unfused._gather()[1]):
+            np.testing.assert_allclose(pf, pu, rtol=1e-9, atol=1e-12)
+
+    def test_fused_loss_value_matches_unfused(self):
+        x, y = _toy_batch(seed=3)
+        model = _toy_model()
+        pred = model.forward(x)
+        loss = CategoricalCrossentropy()
+        reference, _ = loss(y, pred)
+        assert loss.value(y, pred) == pytest.approx(reference, rel=1e-12)
+
+    def test_fit_trains_identically_to_manual_unfused_loop(self):
+        """End to end: `fit` (fused) reaches the same weights, to float
+        tolerance, as the explicit unfused loop with the same streams."""
+        x, y = _toy_batch(seed=5, n=64)
+        fused = _toy_model()
+        fused.compile(optimizer=Adam())
+        fused.fit(x, y, epochs=3, batch_size=16, shuffle=False, rng=0)
+        manual = _toy_model()
+        loss = CategoricalCrossentropy()
+        optimizer = Adam()
+        for _ in range(3):
+            for begin in range(0, 64, 16):
+                xb, yb = x[begin:begin + 16], y[begin:begin + 16]
+                pred = manual.forward(xb, training=True)
+                _, grad = loss(yb, pred)
+                manual.backward(grad)
+                params, grads = manual._gather()
+                optimizer.update(params, grads)
+        for pf, pm in zip(fused._gather()[0], manual._gather()[0]):
+            np.testing.assert_allclose(pf, pm, rtol=1e-8, atol=1e-10)
+
+
+def _reference_sgd_step(params, grads, velocities, lr, momentum):
+    out = []
+    for i, (param, grad) in enumerate(zip(params, grads)):
+        if momentum:
+            velocities[i] = momentum * velocities[i] - lr * grad
+            out.append(param + velocities[i])
+        else:
+            out.append(param - lr * grad)
+    return out
+
+
+class TestInPlaceOptimizers:
+    @pytest.mark.parametrize("momentum", [0.0, 0.9])
+    def test_sgd_bit_identical_to_reference(self, momentum):
+        rng = np.random.default_rng(1)
+        shapes = [(5, 4), (4,), (4, 2)]
+        params = [rng.normal(size=s) for s in shapes]
+        reference = [p.copy() for p in params]
+        velocities = [np.zeros_like(p) for p in reference]
+        sgd = SGD(learning_rate=0.05, momentum=momentum)
+        for step in range(25):
+            grads = [rng.normal(size=s) for s in shapes]
+            sgd.update(params, grads)
+            reference = _reference_sgd_step(
+                reference, grads, velocities, 0.05, momentum
+            )
+            for p, r in zip(params, reference):
+                assert np.array_equal(p, r), f"diverged at step {step}"
+
+    def test_adam_bit_identical_to_reference(self):
+        rng = np.random.default_rng(2)
+        shapes = [(6, 3), (3,)]
+        params = [rng.normal(size=s) for s in shapes]
+        reference = [p.copy() for p in params]
+        adam = Adam(learning_rate=0.01)
+        ms = [np.zeros_like(p) for p in reference]
+        vs = [np.zeros_like(p) for p in reference]
+        for step in range(1, 31):
+            grads = [rng.normal(size=s) for s in shapes]
+            adam.update(params, grads)
+            bias_1 = 1.0 - adam.beta_1**step
+            bias_2 = 1.0 - adam.beta_2**step
+            for i, grad in enumerate(grads):
+                ms[i] = adam.beta_1 * ms[i] + (1.0 - adam.beta_1) * grad
+                vs[i] = adam.beta_2 * vs[i] + (1.0 - adam.beta_2) * grad * grad
+                denom = np.sqrt(vs[i] / bias_2) + adam.epsilon
+                reference[i] = reference[i] - adam.learning_rate * (
+                    ms[i] / bias_1
+                ) / denom
+            for p, r in zip(params, reference):
+                assert np.array_equal(p, r), f"diverged at step {step}"
+
+    def test_adam_step_allocates_no_new_state_after_first(self):
+        rng = np.random.default_rng(3)
+        params = [rng.normal(size=(8, 8))]
+        adam = Adam()
+        adam.update(params, [rng.normal(size=(8, 8))])
+        buffers = [adam._m[0], adam._v[0], adam._num[0], adam._den[0]]
+        adam.update(params, [rng.normal(size=(8, 8))])
+        assert adam._m[0] is buffers[0]
+        assert adam._v[0] is buffers[1]
+        assert adam._num[0] is buffers[2]
+        assert adam._den[0] is buffers[3]
+
+
+class TestDenseOutBackward:
+    def test_grads_written_into_persistent_buffers(self):
+        dense = Dense(4)
+        dense.build((6,), np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(10, 6))
+        dense.forward(x, training=True)
+        before = (dense.grads[0], dense.grads[1])
+        dense.backward(np.random.default_rng(2).normal(size=(10, 4)))
+        assert dense.grads[0] is before[0]
+        assert dense.grads[1] is before[1]
+
+    def test_backward_matches_reference_matmuls(self):
+        dense = Dense(4)
+        dense.build((6,), np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(10, 6))
+        grad = np.random.default_rng(2).normal(size=(10, 4))
+        dense.forward(x, training=True)
+        out = dense.backward(grad)
+        assert np.array_equal(dense.grads[0], x.T @ grad)
+        assert np.array_equal(dense.grads[1], grad.sum(axis=0))
+        assert np.array_equal(out, grad @ dense.params[0].T)
+
+
+class TestDropoutRngRouting:
+    def test_fit_rng_reaches_dropout(self):
+        """Two fits from the same seed must agree *through* Dropout —
+        the masks now come from fit's generator, not hidden state."""
+        x, y = _toy_batch(seed=9, n=48)
+
+        def train():
+            model = Sequential(
+                [Dense(24), ReLU(), Dropout(0.5), Dense(3), Softmax()]
+            )
+            model.build((16,), rng=4)
+            model.compile()
+            model.fit(x, y, epochs=2, batch_size=16, rng=11)
+            return model._gather()[0]
+
+        for a, b in zip(train(), train()):
+            assert np.array_equal(a, b)
+
+    def test_explicit_seed_overrides_fit_rng(self):
+        drop = Dropout(0.5, seed=13)
+        x = np.ones((4, 50))
+        a = drop.forward(x, training=True, rng=np.random.default_rng(1))
+        drop_again = Dropout(0.5, seed=13)
+        b = drop_again.forward(x, training=True, rng=np.random.default_rng(2))
+        assert np.array_equal(a, b)
+
+    def test_fit_rng_used_when_no_seed(self):
+        x = np.ones((4, 200))
+        drop = Dropout(0.5)
+        a = drop.forward(x, training=True, rng=np.random.default_rng(21))
+        b = drop.forward(x, training=True, rng=np.random.default_rng(21))
+        assert np.array_equal(a, b)
+        c = drop.forward(x, training=True, rng=np.random.default_rng(22))
+        assert not np.array_equal(a, c)

@@ -1,8 +1,15 @@
 """Tests for repro.utils.rng: deterministic, independent streams."""
 
 import numpy as np
+import pytest
 
-from repro.utils.rng import derive_rng, make_rng, random_bytes, spawn_seed
+from repro.utils.rng import (
+    derive_rng,
+    make_rng,
+    random_bytes,
+    random_words,
+    spawn_seed,
+)
 
 
 class TestMakeRng:
@@ -61,3 +68,28 @@ class TestHelpers:
     def test_spawn_seed_range(self):
         seed = spawn_seed(make_rng(1))
         assert 0 <= seed < 2**63
+
+
+class TestRandomWords:
+    @pytest.mark.parametrize(
+        "width,dtype",
+        [(8, np.uint8), (16, np.uint16), (32, np.uint32), (64, np.uint64)],
+    )
+    def test_native_dtype_and_shape(self, width, dtype):
+        words = random_words(make_rng(0), (5, 3), width=width)
+        assert words.dtype == dtype
+        assert words.shape == (5, 3)
+
+    def test_deterministic(self):
+        a = random_words(make_rng(11), (4, 12))
+        b = random_words(make_rng(11), (4, 12))
+        assert np.array_equal(a, b)
+
+    def test_covers_high_bits(self):
+        # Over 1000 draws the top bit of a uniform 32-bit word must show up.
+        words = random_words(make_rng(2), 1000)
+        assert (words >> np.uint32(31)).any()
+
+    def test_rejects_unknown_width(self):
+        with pytest.raises(ValueError, match="width"):
+            random_words(make_rng(0), 4, width=12)
