@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-full
+.PHONY: test bench bench-full bench-check
 
 # Tier-1 test suite.
 test:
@@ -18,3 +18,8 @@ bench:
 # committed baselines.
 bench-full:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_benchmarks.py
+
+# Re-measure and fail if any benchmark regressed by more than 2x against
+# the committed BENCH_*.json baselines.
+bench-check:
+	PYTHONPATH=src $(PYTHON) benchmarks/check_regression.py

@@ -63,6 +63,27 @@ def test_mlp_iii_train_step_dtype(benchmark, batch, dtype):
     benchmark(model.train_on_batch, x, y)
 
 
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+@pytest.mark.parametrize("factory", [lstm_i, cnn_i], ids=["LSTM I", "CNN I"])
+def test_seq_train_step_dtype(benchmark, batch, factory, dtype):
+    """The sequence models on the compiled hot path, per dtype.
+
+    The float64 rows time the time-major LSTM / im2col Conv1D kernels
+    at full precision; the float32 rows are the fast path (the LSTM I
+    float64 step is pinned near its BLAS GEMM floor, so float32 is
+    where the remaining headroom lives).
+    """
+    x, y = batch
+    model = factory()
+    model.build((INPUT_BITS,), rng=0)
+    model.compile(
+        loss=CategoricalCrossentropy(), optimizer=Adam(), dtype=dtype
+    )
+    x = x.astype(dtype)
+    y = y.astype(dtype)
+    benchmark(model.train_on_batch, x, y)
+
+
 def test_inference_throughput(benchmark, batch):
     x, _ = batch
     model = mlp_iii()

@@ -1,0 +1,150 @@
+"""Gate benchmark regressions against the committed baselines.
+
+Re-runs the substrate benchmark suites (via ``run_benchmarks.run_suite``)
+into a temporary directory and compares every benchmark that appears in
+both the fresh run and the committed ``benchmarks/BENCH_<suite>.json``.
+A benchmark whose fresh mean exceeds ``threshold`` times its committed
+mean (default 2x — far outside the few-percent run-to-run noise of a
+shared machine, so only a real regression trips it) fails the check and
+the script exits non-zero.
+
+Benchmarks present on only one side are reported but never fail the
+check: adding a benchmark must not require regenerating every baseline
+in the same commit, and renames surface visibly instead of silently
+passing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py          # make bench-check
+    PYTHONPATH=src python benchmarks/check_regression.py --quick  # noisy smoke mode
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+_spec = importlib.util.spec_from_file_location(
+    "run_benchmarks", BENCH_DIR / "run_benchmarks.py"
+)
+run_benchmarks = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(run_benchmarks)
+
+DEFAULT_THRESHOLD = 2.0
+
+
+def _means(report: dict) -> Dict[str, float]:
+    return {
+        entry["name"]: float(entry["mean_s"]) for entry in report["benchmarks"]
+    }
+
+
+def compare_reports(
+    baseline: dict, fresh: dict, threshold: float = DEFAULT_THRESHOLD
+) -> Tuple[List[dict], List[str]]:
+    """Compare two BENCH reports name-by-name.
+
+    Returns ``(rows, unmatched)``: one row per benchmark present in both
+    reports (``name``, ``baseline_s``, ``fresh_s``, ``ratio``,
+    ``regressed``), plus the names present in only one of the two.
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must exceed 1.0, got {threshold}")
+    base = _means(baseline)
+    new = _means(fresh)
+    rows = []
+    for name in sorted(base.keys() & new.keys()):
+        ratio = new[name] / base[name]
+        rows.append(
+            {
+                "name": name,
+                "baseline_s": base[name],
+                "fresh_s": new[name],
+                "ratio": ratio,
+                "regressed": ratio > threshold,
+            }
+        )
+    unmatched = sorted(base.keys() ^ new.keys())
+    return rows, unmatched
+
+
+def check_suite(suite: str, quick: bool, threshold: float) -> bool:
+    """Run one suite and compare it against its committed baseline."""
+    committed_path = BENCH_DIR / f"BENCH_{suite}.json"
+    if not committed_path.exists():
+        print(f"[{suite}] no committed baseline at {committed_path.name}; skipping")
+        return True
+    baseline = json.loads(committed_path.read_text())
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh_path = run_benchmarks.run_suite(
+            suite, run_benchmarks.SUITES[suite], quick, Path(tmp)
+        )
+        run_benchmarks.validate_bench_file(fresh_path)
+        fresh = json.loads(fresh_path.read_text())
+    if baseline.get("quick"):
+        print(
+            f"[{suite}] warning: committed baseline was recorded in --quick "
+            "mode; timings are noisy"
+        )
+    rows, unmatched = compare_reports(baseline, fresh, threshold)
+    ok = True
+    for row in rows:
+        flag = "REGRESSED" if row["regressed"] else "ok"
+        print(
+            f"[{suite}] {row['name']}: baseline {row['baseline_s'] * 1e3:.2f} ms, "
+            f"fresh {row['fresh_s'] * 1e3:.2f} ms "
+            f"({row['ratio']:.2f}x) {flag}"
+        )
+        ok = ok and not row["regressed"]
+    for name in unmatched:
+        print(f"[{suite}] {name}: present in only one report (not compared)")
+    if not rows:
+        print(f"[{suite}] error: no benchmark names in common with the baseline")
+        return False
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"fail when fresh mean > threshold * baseline mean "
+        f"(default {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="measure in one-round smoke mode (fast but noisy; pair with "
+        "a generous --threshold)",
+    )
+    parser.add_argument(
+        "--suite",
+        choices=sorted(run_benchmarks.SUITES),
+        action="append",
+        help="check only this suite (repeatable; default: all)",
+    )
+    args = parser.parse_args(argv)
+    suites = args.suite or sorted(run_benchmarks.SUITES)
+    failed = [
+        suite
+        for suite in suites
+        if not check_suite(suite, args.quick, args.threshold)
+    ]
+    if failed:
+        print(f"regressions detected in: {', '.join(failed)}")
+        return 1
+    print("no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

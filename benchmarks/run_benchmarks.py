@@ -64,6 +64,15 @@ def run_suite(suite: str, source: Path, quick: bool, output_dir: Path) -> Path:
                 "--benchmark-max-time=0.05",
                 "--benchmark-warmup=off",
             ]
+        else:
+            # Baseline mode: warm every benchmark before timing (first
+            # iterations pay scratch-buffer allocation and BLAS thread
+            # spin-up) and keep the collector out of the timed region.
+            command += [
+                "--benchmark-warmup=on",
+                "--benchmark-warmup-iterations=2",
+                "--benchmark-disable-gc",
+            ]
         env = dict(os.environ)
         env["PYTHONPATH"] = str(REPO_ROOT / "src")
         result = subprocess.run(command, cwd=REPO_ROOT, env=env)

@@ -27,10 +27,11 @@ and run in-process otherwise.
 from __future__ import annotations
 
 import multiprocessing
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.cache import DatasetCache, dataset_cache_key
 from repro.errors import DistinguisherError
 from repro.utils.rng import RngLike
 
@@ -83,17 +84,35 @@ def generate_dataset_sharded(
     shuffle: bool = True,
     workers: int = 1,
     shard_size: int = DEFAULT_SHARD_SIZE,
+    cache: Optional[DatasetCache] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Shard-deterministic ``(features, labels)`` for ``scenario``.
 
     Bit-identical for every ``workers`` value given the same seed and
     ``shard_size``; see the module docstring for the construction.
+
+    ``cache`` defaults to the directory named by the
+    ``REPRO_DATASET_CACHE`` environment variable (no caching when
+    unset).  The key covers the scenario fingerprint, every generation
+    parameter and the root seed material, so a hit is bit-identical to a
+    fresh run; when ``rng`` is a live generator its entropy draw happens
+    before the lookup, leaving the caller's stream state independent of
+    hit or miss.
     """
     workers = int(workers)
     if workers < 1:
         raise DistinguisherError(f"workers must be >= 1, got {workers}")
     sizes = shard_sizes(n_per_class, shard_size)
-    children = seed_sequence_from(rng).spawn(len(sizes) + 1)
+    root = seed_sequence_from(rng)
+    if cache is None:
+        cache = DatasetCache.from_env()
+    key = None
+    if cache is not None:
+        key = dataset_cache_key(scenario, n_per_class, shard_size, shuffle, root)
+        cached = cache.load(key)
+        if cached is not None:
+            return cached
+    children = root.spawn(len(sizes) + 1)
     jobs = [(scenario, size, child) for size, child in zip(sizes, children)]
     if workers == 1 or len(jobs) == 1:
         results = [_run_shard(job) for job in jobs]
@@ -118,7 +137,46 @@ def generate_dataset_sharded(
         shuffler = np.random.Generator(np.random.PCG64(children[-1]))
         order = shuffler.permutation(x.shape[0])
         x, y = x[order], y[order]
+    if cache is not None and key is not None:
+        cache.store(key, x, y)
     return x, y
+
+
+def run_grid(
+    fn: Callable,
+    payloads: Sequence,
+    workers: Optional[int] = None,
+) -> List:
+    """Map ``fn`` over independent grid cells, optionally in worker
+    processes.
+
+    The experiment tables train one model per (cipher, rounds, network)
+    cell; every cell is handed its own pre-derived seed material, so the
+    cells are independent and their results order-preserving —
+    ``run_grid`` is then just ``pool.map`` with an in-process fallback.
+    ``fn`` and each payload must be picklable (module-level functions
+    and plain tuples).  Unlike dataset sharding, the worker count is not
+    clamped to the CPU count: cells spend much of their wall-clock in
+    BLAS and cipher kernels, so modest oversubscription is harmless and
+    keeps ``workers=N`` semantics identical across machines.
+
+    Cells run inside pool workers must not spawn pools of their own
+    (``multiprocessing`` daemonic children cannot fork grandchildren),
+    so grid-parallel table runners generate their datasets with
+    ``workers=1``.
+    """
+    payloads = list(payloads)
+    if workers is None:
+        workers = 1
+    workers = int(workers)
+    if workers < 1:
+        raise DistinguisherError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(payloads) <= 1:
+        return [fn(payload) for payload in payloads]
+    with multiprocessing.get_context().Pool(
+        processes=min(workers, len(payloads))
+    ) as pool:
+        return pool.map(fn, payloads)
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:

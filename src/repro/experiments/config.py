@@ -15,6 +15,15 @@ experiment's semantics:
   bit-identical across worker counts.
 * ``REPRO_DTYPE`` — compute dtype for the neural networks (``float32``
   or ``float64``; unset keeps the float64 default).
+* ``REPRO_DATASET_CACHE`` — directory for the content-addressed dataset
+  cache (:mod:`repro.core.cache`); unset disables caching.  Cache hits
+  are bit-identical to fresh generation, so this knob, like the others,
+  never changes results.
+
+``REPRO_WORKERS`` also controls experiment-grid parallelism: the table
+runners train independent (cipher, rounds, network) cells in that many
+worker processes, with per-cell seed material derived up front so the
+results are identical for every worker count.
 """
 
 from __future__ import annotations
@@ -73,6 +82,14 @@ def get_workers() -> Optional[int]:
             f"REPRO_WORKERS must be a positive integer, got {workers}"
         )
     return workers
+
+
+def get_dataset_cache():
+    """The :class:`~repro.core.cache.DatasetCache` named by
+    ``REPRO_DATASET_CACHE``, or ``None`` when caching is disabled."""
+    from repro.core.cache import DatasetCache
+
+    return DatasetCache.from_env()
 
 
 def get_dtype() -> Optional[str]:

@@ -22,13 +22,15 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.ciphers.gimli import gimli_permute_batch
+from repro.core.parallel import run_grid
 from repro.diffcrypt.trail import GIMLI_OPTIMAL_WEIGHTS, DifferentialTrail
 from repro.diffcrypt.trail_search import (
     beam_search_trail,
     default_seeds,
     find_weight_zero_trails,
 )
-from repro.utils.rng import make_rng, random_words
+from repro.experiments.config import get_workers
+from repro.utils.rng import derive_rng, make_rng, random_words
 
 
 def verify_trail_empirically(
@@ -49,48 +51,84 @@ def verify_trail_empirically(
     return float(hits.mean())
 
 
+def _run_table1_cell(payload: Dict) -> Dict:
+    """Search (and possibly verify) one round count.
+
+    Module-level and payload-complete for
+    :func:`~repro.core.parallel.run_grid`: the search itself is
+    deterministic, and the Monte-Carlo verification draws only from the
+    pre-derived per-round generator in the payload, so the row is
+    identical no matter which process computes it.
+    """
+    rounds = payload["rounds"]
+    exhibited: Optional[float] = None
+    empirical: Optional[float] = None
+    trail: Optional[DifferentialTrail] = None
+    if payload["search"]:
+        weight_zero = find_weight_zero_trails(rounds)
+        if weight_zero:
+            trail = weight_zero[0]
+            exhibited = 0.0
+        else:
+            trail = beam_search_trail(
+                default_seeds(),
+                rounds,
+                beam_width=payload["beam_width"],
+                variants=payload["variants"],
+            )
+            exhibited = trail.weight
+        if trail is not None and exhibited <= 16:
+            empirical = verify_trail_empirically(
+                trail,
+                samples=payload["verify_samples"],
+                rng=payload["verify_rng"],
+            )
+    return {
+        "rounds": rounds,
+        "paper": payload["reference"],
+        "measured": exhibited,
+        "trail_probability": None if trail is None else trail.probability,
+        "empirical_probability": empirical,
+    }
+
+
 def run_table1(
     max_search_rounds: int = 4,
     beam_width: int = 24,
     variants: int = 3,
     verify_samples: int = 1 << 13,
     rng=None,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Regenerate Table 1's rows: designers' weight vs exhibited weight.
 
     For rounds beyond ``max_search_rounds`` only the reference weight is
     reported (the beam search cost grows with rounds while its bound
     quality degrades — recorded honestly as ``None``).
+
+    Each round count is an independent grid cell; ``workers`` (default
+    ``REPRO_WORKERS``) runs them in that many processes.  A verification
+    generator is derived per searched round *before* dispatch — not
+    consumed sequentially as rows complete — so the Monte-Carlo
+    estimates are identical for every worker count.
     """
     generator = make_rng(rng)
-    seeds = default_seeds()
-    rows = []
+    workers = workers if workers is not None else get_workers()
+    payloads = []
     for rounds in sorted(GIMLI_OPTIMAL_WEIGHTS):
-        reference = GIMLI_OPTIMAL_WEIGHTS[rounds]
-        exhibited: Optional[float] = None
-        empirical: Optional[float] = None
-        trail: Optional[DifferentialTrail] = None
-        if rounds <= max_search_rounds:
-            weight_zero = find_weight_zero_trails(rounds)
-            if weight_zero:
-                trail = weight_zero[0]
-                exhibited = 0.0
-            else:
-                trail = beam_search_trail(
-                    seeds, rounds, beam_width=beam_width, variants=variants
-                )
-                exhibited = trail.weight
-            if trail is not None and exhibited <= 16:
-                empirical = verify_trail_empirically(
-                    trail, samples=verify_samples, rng=generator
-                )
-        rows.append(
+        search = rounds <= max_search_rounds
+        payloads.append(
             {
                 "rounds": rounds,
-                "paper": reference,
-                "measured": exhibited,
-                "trail_probability": None if trail is None else trail.probability,
-                "empirical_probability": empirical,
+                "reference": GIMLI_OPTIMAL_WEIGHTS[rounds],
+                "search": search,
+                "beam_width": beam_width,
+                "variants": variants,
+                "verify_samples": verify_samples,
+                "verify_rng": (
+                    derive_rng(generator, "verify", rounds) if search else None
+                ),
             }
         )
+    rows = run_grid(_run_table1_cell, payloads, workers=workers)
     return {"experiment": "table1", "rows": rows}

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.core.distinguisher import MLDistinguisher
+from repro.core.parallel import run_grid
 from repro.core.scenario import GimliCipherScenario, GimliHashScenario
 from repro.errors import DistinguisherAborted
 from repro.experiments.config import default_scale, get_dtype, get_workers
@@ -58,6 +59,57 @@ def _make_scenario(target: str, rounds: int):
     raise ValueError(f"unknown target {target!r}; expected 'hash' or 'cipher'")
 
 
+def _run_table2_cell(payload: Dict) -> Dict:
+    """Train and test one ``(target, rounds)`` cell.
+
+    Module-level (so it pickles into :func:`~repro.core.parallel.run_grid`
+    worker processes) and fully self-contained: every size and
+    seed-derived generator arrives pre-resolved in ``payload``, so the
+    cell computes the same row no matter which process runs it.
+    """
+    target, r = payload["target"], payload["rounds"]
+    scenario = _make_scenario(target, r)
+    distinguisher = MLDistinguisher(
+        scenario,
+        model=mlp_ii(),
+        epochs=payload["epochs"],
+        batch_size=256,
+        rng=payload["cell_rng"],
+        workers=payload["data_workers"],
+        dtype=payload["dtype"],
+    )
+    row = {
+        "target": target,
+        "rounds": r,
+        "paper": PAPER_TABLE2.get((target, r)),
+        "offline_samples": payload["offline_samples"],
+    }
+    try:
+        report = distinguisher.train(
+            num_samples=payload["offline_samples"], significance=0.05
+        )
+    except DistinguisherAborted:
+        row.update({"measured": 0.5, "aborted": True})
+        return row
+    row.update({"measured": report.validation_accuracy, "aborted": False})
+    if payload["run_online"]:
+        row_online = payload["online_samples"]
+        cipher_result = distinguisher.test(scenario.cipher_oracle(), row_online)
+        random_result = distinguisher.test(
+            scenario.random_oracle(rng=payload["ro_rng"]), row_online
+        )
+        row.update(
+            {
+                "online_samples": row_online,
+                "cipher_accuracy": cipher_result.accuracy,
+                "cipher_verdict": cipher_result.verdict,
+                "random_accuracy": random_result.accuracy,
+                "random_verdict": random_result.verdict,
+            }
+        )
+    return row
+
+
 def run_table2(
     rounds: Sequence[int] = (6, 7, 8),
     targets: Sequence[str] = ("hash", "cipher"),
@@ -76,6 +128,18 @@ def run_table2(
     Each row reports the offline validation accuracy plus — when
     ``run_online`` — the online accuracies and verdicts against the
     cipher and a random oracle.
+
+    Cells of the (target, rounds) grid are independent models; with
+    ``workers`` set they train in that many worker processes.  All
+    seed material is derived up front, in the grid's serial iteration
+    order, so the rows are identical for every worker count (and, for
+    ``workers=None``, identical to the historical serial runner —
+    except after an aborted cell, whose online-oracle derivation the
+    old runner skipped; deriving it unconditionally is what makes the
+    stream independent of cell outcomes).
+    Cells inside pool workers generate their datasets with one sharded
+    worker (daemonic processes cannot fork grandchildren); sharded
+    generation is worker-count-invariant, so this doesn't change rows.
     """
     scale = default_scale()
     offline = offline_samples if offline_samples is not None else scale.offline_samples
@@ -84,19 +148,17 @@ def run_table2(
     workers = workers if workers is not None else get_workers()
     dtype = dtype if dtype is not None else get_dtype()
     generator = make_rng(rng)
-    rows = []
+    # ``workers=None`` keeps the legacy single-stream dataset path;
+    # any integer switches every cell to the sharded generator.
+    data_workers = None if workers is None else 1
+    payloads = []
     for target in targets:
-        for r in rounds:
-            scenario = _make_scenario(target, r)
-            distinguisher = MLDistinguisher(
-                scenario,
-                model=mlp_ii(),
-                epochs=n_epochs,
-                batch_size=256,
-                rng=derive_rng(generator, target, r),
-                workers=workers,
-                dtype=dtype,
+        if target not in ("hash", "cipher"):
+            raise ValueError(
+                f"unknown target {target!r}; expected 'hash' or 'cipher'"
             )
+        for r in rounds:
+            cell_rng = derive_rng(generator, target, r)
             row_offline = offline
             row_online = online
             row_epochs = n_epochs
@@ -106,47 +168,24 @@ def run_table2(
                 row_online = max(online, ROUND_MIN_ONLINE.get(r, 0))
             if epochs is None:
                 row_epochs = max(n_epochs, ROUND_MIN_EPOCHS.get(r, 0))
-                distinguisher.epochs = row_epochs
-            row = {
-                "target": target,
-                "rounds": r,
-                "paper": PAPER_TABLE2.get((target, r)),
-                "offline_samples": row_offline,
-            }
-            try:
-                report = distinguisher.train(
-                    num_samples=row_offline, significance=0.05
-                )
-            except DistinguisherAborted:
-                row.update(
-                    {"measured": 0.5, "aborted": True}
-                )
-                rows.append(row)
-                continue
-            row.update(
+            ro_rng = (
+                derive_rng(generator, "ro", target, r) if run_online else None
+            )
+            payloads.append(
                 {
-                    "measured": report.validation_accuracy,
-                    "aborted": False,
+                    "target": target,
+                    "rounds": r,
+                    "offline_samples": row_offline,
+                    "online_samples": row_online,
+                    "epochs": row_epochs,
+                    "run_online": run_online,
+                    "cell_rng": cell_rng,
+                    "ro_rng": ro_rng,
+                    "data_workers": data_workers,
+                    "dtype": dtype,
                 }
             )
-            if run_online:
-                cipher_result = distinguisher.test(
-                    scenario.cipher_oracle(), row_online
-                )
-                random_result = distinguisher.test(
-                    scenario.random_oracle(rng=derive_rng(generator, "ro", target, r)),
-                    row_online,
-                )
-                row.update(
-                    {
-                        "online_samples": row_online,
-                        "cipher_accuracy": cipher_result.accuracy,
-                        "cipher_verdict": cipher_result.verdict,
-                        "random_accuracy": random_result.accuracy,
-                        "random_verdict": random_result.verdict,
-                    }
-                )
-            rows.append(row)
+    rows = run_grid(_run_table2_cell, payloads, workers=workers)
     return {
         "experiment": "table2",
         "offline_samples": offline,

@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional, Sequence
 
+from repro.core.parallel import run_grid
 from repro.core.scenario import GimliCipherScenario
 from repro.experiments.config import default_scale, get_dtype, get_workers
 from repro.nn.architectures import (
@@ -21,6 +22,41 @@ from repro.nn.architectures import (
     get_table3_network,
 )
 from repro.utils.rng import derive_rng, make_rng
+
+
+def _run_table3_cell(payload: Dict) -> Dict:
+    """Build, train and evaluate one network on the shared dataset.
+
+    Module-level and payload-complete so it can run in a
+    :func:`~repro.core.parallel.run_grid` worker process; the training
+    data and both seed-derived generators travel in the payload, making
+    the row independent of which process computes it (``training_time_s``
+    is wall-clock and machine-dependent, everything else deterministic).
+    """
+    name = payload["network"]
+    x_train, y_train = payload["x_train"], payload["y_train"]
+    model = get_table3_network(name)
+    model.build((x_train.shape[1],), rng=payload["weights_rng"])
+    model.compile(dtype=payload["dtype"])
+    start = time.perf_counter()
+    model.fit(
+        x_train,
+        y_train,
+        epochs=payload["epochs"],
+        batch_size=payload["batch_size"],
+        rng=payload["batches_rng"],
+    )
+    elapsed = time.perf_counter() - start
+    _, metrics = model.evaluate(payload["x_val"], payload["y_val"])
+    return {
+        "network": name,
+        "activation": TABLE3_NETWORKS[name]["activation"],
+        "parameters": model.count_params(),
+        "paper_parameters": TABLE3_PAPER_PARAMS[name],
+        "training_time_s": elapsed,
+        "measured": metrics["accuracy"],
+        "paper": TABLE3_PAPER_ACCURACY[name],
+    }
 
 
 def run_table3(
@@ -38,6 +74,14 @@ def run_table3(
     All networks see the *same* dataset (fresh per invocation), as in a
     manual architecture search.  ``networks`` defaults to all ten;
     ``workers``/``dtype`` default to ``REPRO_WORKERS``/``REPRO_DTYPE``.
+
+    The shared dataset is generated once in the parent (sharded across
+    ``workers`` processes when set); each network then trains as an
+    independent grid cell, in ``workers`` processes via
+    :func:`~repro.core.parallel.run_grid`.  Per-network seed material
+    is derived up front in list order, so every worker count — and the
+    historical serial runner — produces identical rows (modulo the
+    wall-clock ``training_time_s``).
     """
     scale = default_scale()
     n_samples = num_samples if num_samples is not None else scale.table3_samples
@@ -56,32 +100,22 @@ def run_table3(
     x_train, y_train = x[:cut], y[:cut]
     x_val, y_val = x[cut:], y[cut:]
 
-    rows = []
-    for name in names:
-        model = get_table3_network(name)
-        model.build((x.shape[1],), rng=derive_rng(generator, "weights", name))
-        model.compile(dtype=dtype)
-        start = time.perf_counter()
-        model.fit(
-            x_train,
-            y_train,
-            epochs=n_epochs,
-            batch_size=batch_size,
-            rng=derive_rng(generator, "batches", name),
-        )
-        elapsed = time.perf_counter() - start
-        _, metrics = model.evaluate(x_val, y_val)
-        rows.append(
-            {
-                "network": name,
-                "activation": TABLE3_NETWORKS[name]["activation"],
-                "parameters": model.count_params(),
-                "paper_parameters": TABLE3_PAPER_PARAMS[name],
-                "training_time_s": elapsed,
-                "measured": metrics["accuracy"],
-                "paper": TABLE3_PAPER_ACCURACY[name],
-            }
-        )
+    payloads = [
+        {
+            "network": name,
+            "x_train": x_train,
+            "y_train": y_train,
+            "x_val": x_val,
+            "y_val": y_val,
+            "epochs": n_epochs,
+            "batch_size": batch_size,
+            "dtype": dtype,
+            "weights_rng": derive_rng(generator, "weights", name),
+            "batches_rng": derive_rng(generator, "batches", name),
+        }
+        for name in names
+    ]
+    rows = run_grid(_run_table3_cell, payloads, workers=workers)
     return {
         "experiment": "table3",
         "num_samples": x.shape[0],

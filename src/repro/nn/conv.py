@@ -1,20 +1,31 @@
 """1-D convolution and pooling layers (the paper's CNN comparison points).
 
 Inputs are ``(batch, steps, channels)``.  The convolution is implemented
-as a sum over kernel offsets of batched matrix products — with the small
-kernels the paper's CNNs use, this is as fast as an im2col in numpy and
-much simpler to differentiate.
+as im2col: a stride-tricks sliding-window view of the (padded) input is
+copied once into a persistent ``(batch*out_steps, kernel*channels)``
+scratch buffer, after which the forward pass, the kernel gradient and
+the column gradient are each one large matmul.  The column buffer built
+in the forward pass is reused by the backward pass, and all scratch
+(including the padded input) persists across steps, so a steady-state
+train step allocates only its output arrays.
+
+The single-matmul reduction sums ``kernel*channels`` terms in one sweep
+where the previous offset-sum kernel added per-offset partial products,
+so float64 results match the reference formulation to float tolerance
+rather than bit-exactly (``tests/test_nn_seq_kernels.py`` pins the
+equivalence).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.errors import LayerError
 from repro.nn.initializers import get_initializer
-from repro.nn.layers import Layer
+from repro.nn.layers import Layer, scratch_buffer
 
 
 class Conv1D(Layer):
@@ -38,7 +49,8 @@ class Conv1D(Layer):
         self.padding = padding
         self.use_bias = bool(use_bias)
         self.kernel_initializer = kernel_initializer
-        self._x: Optional[np.ndarray] = None
+        self._cache: Optional[Tuple] = None
+        self._scratch: Dict[str, np.ndarray] = {}
 
     def _pad_amounts(self) -> Tuple[int, int]:
         if self.padding == "valid":
@@ -66,39 +78,86 @@ class Conv1D(Layer):
         self.grads = [np.zeros_like(p) for p in self.params]
         self.built = True
 
-    def forward(self, x, training=False):
+    def _im2col(self, x):
+        """Copy sliding windows of ``x`` into the persistent column buffer.
+
+        Returns ``(cols, padded_steps)`` where ``cols`` has shape
+        ``(batch * out_steps, kernel_size * channels)`` laid out to match
+        ``kernel.reshape(kernel_size * channels, filters)``.
+        """
         left, right = self._pad_amounts()
+        n, steps, channels = x.shape
         if left or right:
-            x = np.pad(x, ((0, 0), (left, right), (0, 0)))
-        self._x = x if training else None
+            padded = scratch_buffer(
+                self._scratch, "padded", (n, steps + left + right, channels), x.dtype
+            )
+            padded[:, :left, :] = 0.0
+            padded[:, left + steps:, :] = 0.0
+            padded[:, left:left + steps, :] = x
+            x = padded
+        k = self.kernel_size
+        out_steps = x.shape[1] - k + 1
+        cols = scratch_buffer(
+            self._scratch, "cols", (n * out_steps, k * channels), x.dtype
+        )
+        # sliding_window_view yields (n, out_steps, channels, k); transpose
+        # to offset-major / channel-minor to match the kernel layout.
+        windows = sliding_window_view(x, k, axis=1)
+        np.copyto(
+            cols.reshape(n, out_steps, k, channels),
+            windows.transpose(0, 1, 3, 2),
+        )
+        return cols, x.shape[1]
+
+    def forward(self, x, training=False):
         kernel = self.params[0]
-        out_steps = x.shape[1] - self.kernel_size + 1
-        out = np.zeros((x.shape[0], out_steps, self.filters), dtype=x.dtype)
-        for offset in range(self.kernel_size):
-            out += x[:, offset:offset + out_steps, :] @ kernel[offset]
+        n, steps, channels = x.shape
+        k = self.kernel_size
+        cols, padded_steps = self._im2col(x)
+        out_steps = padded_steps - k + 1
+        out = np.empty((n, out_steps, self.filters), dtype=x.dtype)
+        np.matmul(
+            cols,
+            kernel.reshape(k * channels, self.filters),
+            out=out.reshape(n * out_steps, self.filters),
+        )
         if self.use_bias:
             out += self.params[1]
+        self._cache = (x.shape, cols, out_steps) if training else None
         return out
 
     def backward(self, grad):
-        if self._x is None:
+        if self._cache is None:
             raise LayerError("backward called without a training forward pass")
-        x = self._x
+        (n, steps, channels), cols, out_steps = self._cache
         kernel = self.params[0]
-        out_steps = grad.shape[1]
-        kernel_grad = np.zeros_like(kernel)
-        x_grad = np.zeros_like(x)
-        for offset in range(self.kernel_size):
-            window = x[:, offset:offset + out_steps, :]
-            kernel_grad[offset] = np.tensordot(window, grad, axes=([0, 1], [0, 1]))
-            x_grad[:, offset:offset + out_steps, :] += grad @ kernel[offset].T
-        self.grads[0] = kernel_grad
+        k = self.kernel_size
+        grad2 = np.ascontiguousarray(grad).reshape(n * out_steps, self.filters)
+        np.matmul(
+            cols.T, grad2, out=self.grads[0].reshape(k * channels, self.filters)
+        )
         if self.use_bias:
-            self.grads[1] = grad.sum(axis=(0, 1))
+            grad2.sum(axis=0, out=self.grads[1])
+        if self.skip_input_grad:
+            return None
+        col_grad = scratch_buffer(
+            self._scratch, "col_grad", (n * out_steps, k * channels), grad2.dtype
+        )
+        np.matmul(
+            grad2, kernel.reshape(k * channels, self.filters).T, out=col_grad
+        )
         left, right = self._pad_amounts()
+        x_grad = np.empty((n, steps + left + right, channels), dtype=grad2.dtype)
+        col_grad4 = col_grad.reshape(n, out_steps, k, channels)
+        # Offset 0 covers positions [0, out_steps); assign it outright and
+        # zero only the short uncovered tail instead of memsetting the
+        # whole buffer, then accumulate the remaining offsets.
+        x_grad[:, :out_steps, :] = col_grad4[:, :, 0, :]
+        x_grad[:, out_steps:, :] = 0.0
+        for offset in range(1, k):
+            x_grad[:, offset:offset + out_steps, :] += col_grad4[:, :, offset, :]
         if left or right:
-            end = x_grad.shape[1] - right
-            x_grad = x_grad[:, left:end, :]
+            return x_grad[:, left:x_grad.shape[1] - right, :]
         return x_grad
 
     def output_shape(self, input_shape):
@@ -179,8 +238,13 @@ class GlobalAveragePool1D(Layer):
     def backward(self, grad):
         if self._steps is None:
             raise LayerError("backward called without a forward pass")
-        expanded = np.repeat(grad[:, np.newaxis, :], self._steps, axis=1)
-        return expanded / self._steps
+        # Broadcast a read-only (batch, 1, channels) view over the step
+        # axis instead of materialising the repeat; downstream consumers
+        # only read it (or copy it to contiguous storage themselves).
+        scaled = grad / self._steps
+        return np.broadcast_to(
+            scaled[:, np.newaxis, :], (grad.shape[0], self._steps, grad.shape[1])
+        )
 
     def output_shape(self, input_shape):
         _steps, channels = input_shape

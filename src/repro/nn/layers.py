@@ -28,12 +28,43 @@ from repro.errors import LayerError
 from repro.nn.initializers import get_initializer
 
 
+def scratch_buffer(store: dict, name: str, shape, dtype) -> np.ndarray:
+    """A persistent uninitialised scratch array, re-allocated only when
+    the requested shape or dtype changes (one slot per name)."""
+    shape = tuple(shape)
+    buf = store.get(name)
+    if buf is None or buf.shape != shape or buf.dtype != dtype:
+        buf = np.empty(shape, dtype=dtype)
+        store[name] = buf
+    return buf
+
+
+def scratch_zeros(store: dict, name: str, shape, dtype) -> np.ndarray:
+    """Like :func:`scratch_buffer` but zero-filled on allocation.
+
+    Callers must treat the returned array as read-only — it is zeroed
+    only when (re)allocated.
+    """
+    shape = tuple(shape)
+    buf = store.get(name)
+    if buf is None or buf.shape != shape or buf.dtype != dtype:
+        buf = np.zeros(shape, dtype=dtype)
+        store[name] = buf
+    return buf
+
+
 class Layer:
     """Base class for all layers."""
 
     #: Layers that draw randomness during ``forward`` (e.g. Dropout) set
     #: this so the model can route the fit-time generator through them.
     stochastic = False
+
+    #: Set by ``Sequential.build`` on the bottom-most parameterised layer
+    #: when nothing below it has parameters: the input gradient would be
+    #: discarded, so ``backward`` may return ``None`` instead of
+    #: computing it.  Honoured by Dense, LSTM and Conv1D.
+    skip_input_grad = False
 
     def __init__(self):
         self.params: List[np.ndarray] = []
@@ -128,6 +159,8 @@ class Dense(Layer):
         np.matmul(self._x.T, grad, out=self.grads[0])
         if self.use_bias:
             grad.sum(axis=0, out=self.grads[1])
+        if self.skip_input_grad:
+            return None
         return grad @ self.params[0].T
 
     def output_shape(self, input_shape):
@@ -147,9 +180,11 @@ class ReLU(Layer):
     def __init__(self):
         super().__init__()
         self._mask: Optional[np.ndarray] = None
+        self._scratch: dict = {}
 
     def forward(self, x, training=False):
-        mask = x > 0
+        mask = scratch_buffer(self._scratch, "mask", x.shape, np.bool_)
+        np.greater(x, 0, out=mask)
         self._mask = mask if training else None
         return x * mask
 

@@ -84,6 +84,13 @@ class Sequential:
         # Cache the output width so target encoding does not re-walk the
         # whole stack's output_shape chain on every fit/evaluate call.
         self._output_units = int(shape[-1])
+        # The bottom-most parameterised layer's input gradient is never
+        # consumed (nothing below it has parameters to update), so flag
+        # it to skip that compute on the training hot path.
+        for index, layer in enumerate(self.layers):
+            if layer.params:
+                layer.skip_input_grad = True
+                break
         return self
 
     def compile(
@@ -152,10 +159,17 @@ class Sequential:
                 out = layer.forward(out, training=training)
         return out
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
-        """Backpropagate through the full stack."""
+    def backward(self, grad: np.ndarray) -> Optional[np.ndarray]:
+        """Backpropagate through the full stack.
+
+        Returns the gradient with respect to the model input, or ``None``
+        when the bottom parameterised layer skipped it (nothing below it
+        has parameters, so the input gradient is never consumed).
+        """
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
+            if grad is None:
+                return None
         return grad
 
     def _gather(self) -> Tuple[List[np.ndarray], List[np.ndarray]]:
@@ -188,6 +202,8 @@ class Sequential:
             grad = (pred - yb) / yb.shape[0]
             for layer in reversed(self.layers[:-1]):
                 grad = layer.backward(grad)
+                if grad is None:
+                    break
         else:
             loss_value, grad = self.loss(yb, pred)
             self.backward(grad)
@@ -314,12 +330,21 @@ class Sequential:
     # -- inference ---------------------------------------------------------
 
     def predict(self, x: np.ndarray, batch_size: int = 4096) -> np.ndarray:
-        """Forward pass in inference mode, batched to bound memory."""
+        """Forward pass in inference mode, batched to bound memory.
+
+        Chunk outputs are written straight into one preallocated result
+        array, so no per-chunk list or final ``np.concatenate`` copy.
+        """
         x = np.asarray(x, dtype=self.dtype)
-        outputs = []
+        shape = x.shape[1:]
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        out = np.empty((x.shape[0],) + tuple(int(s) for s in shape), dtype=self.dtype)
         for begin in range(0, x.shape[0], batch_size):
-            outputs.append(self.forward(x[begin:begin + batch_size], training=False))
-        return np.concatenate(outputs, axis=0)
+            out[begin:begin + batch_size] = self.forward(
+                x[begin:begin + batch_size], training=False
+            )
+        return out
 
     def predict_classes(self, x: np.ndarray, batch_size: int = 4096) -> np.ndarray:
         """Argmax class predictions."""

@@ -14,16 +14,26 @@ import pytest
 BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
 
 
-def _load_runner():
-    spec = importlib.util.spec_from_file_location(
-        "run_benchmarks", BENCH_DIR / "run_benchmarks.py"
-    )
+def _load_module(name):
+    spec = importlib.util.spec_from_file_location(name, BENCH_DIR / f"{name}.py")
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
 
 
-runner = _load_runner()
+runner = _load_module("run_benchmarks")
+checker = _load_module("check_regression")
+
+
+def _report(**means):
+    return {
+        "suite": "x",
+        "quick": False,
+        "benchmarks": [
+            {"name": name, "mean_s": mean, "stddev_s": 0.0, "rounds": 3}
+            for name, mean in means.items()
+        ],
+    }
 
 
 @pytest.mark.parametrize("suite", ["nn_ops", "ciphers"])
@@ -90,6 +100,29 @@ class TestValidator:
             },
             "missing",
         )
+
+    def test_compare_flags_only_real_regressions(self):
+        rows, unmatched = checker.compare_reports(
+            _report(a=0.10, b=0.10, c=0.10),
+            _report(a=0.15, b=0.25, c=0.05),
+            threshold=2.0,
+        )
+        by_name = {row["name"]: row for row in rows}
+        assert not by_name["a"]["regressed"]  # 1.5x: inside the budget
+        assert by_name["b"]["regressed"]  # 2.5x: fails
+        assert not by_name["c"]["regressed"]  # speedup: fine
+        assert unmatched == []
+
+    def test_compare_reports_unmatched_names(self):
+        rows, unmatched = checker.compare_reports(
+            _report(old=0.1, shared=0.1), _report(new=0.1, shared=0.1)
+        )
+        assert [row["name"] for row in rows] == ["shared"]
+        assert unmatched == ["new", "old"]
+
+    def test_compare_rejects_silly_threshold(self):
+        with pytest.raises(ValueError):
+            checker.compare_reports(_report(a=1.0), _report(a=1.0), threshold=0.5)
 
     def test_accepts_wellformed(self, tmp_path):
         path = tmp_path / "BENCH_ok.json"

@@ -1,0 +1,298 @@
+"""Equivalence of the optimised LSTM/Conv1D kernels with the reference
+formulations.
+
+The time-major LSTM kernel (hoisted input projection, fused gate
+activations, stacked-matmul BPTT) and the im2col Conv1D kernel replaced
+straightforward loop-of-matmul implementations.  These tests pin the
+contract the rewrite was done under:
+
+* LSTM float64 **forward** output is bit-identical to the reference
+  step loop (every op is either elementwise, a row-independent matmul,
+  or an exact zero-state elision);
+* LSTM gradients and the Conv1D forward/backward reorder float
+  reductions (stacked matmuls, single-sweep im2col products), so they
+  match the reference to float64 tolerance rather than bit-exactly;
+* float32 compiled kernels track the float64 reference loosely;
+* persistent scratch never leaks between calls: outputs are fresh
+  arrays and repeated passes reproduce themselves bit-for-bit.
+
+The reference implementations below are the seed versions of
+``repro/nn/recurrent.py`` / ``repro/nn/conv.py``, reduced to pure
+functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.conv import Conv1D, GlobalAveragePool1D
+from repro.nn.recurrent import LSTM
+
+# --------------------------------------------------------------------------
+# Reference kernels (the seed's loop-of-matmul formulations).
+# --------------------------------------------------------------------------
+
+
+def _sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+
+
+def reference_lstm_forward(x, kernel, recurrent, bias, return_sequences):
+    """Seed LSTM forward: one z-matmul pair per step, gates sliced out."""
+    n, steps, _features = x.shape
+    units = recurrent.shape[0]
+    h = np.zeros((n, units), dtype=np.float64)
+    c = np.zeros((n, units), dtype=np.float64)
+    hs = np.zeros((n, steps, units), dtype=np.float64)
+    cache = {
+        key: np.zeros((n, steps, units))
+        for key in ("i", "f", "g", "o", "c", "c_prev", "h_prev")
+    }
+    for t in range(steps):
+        z = x[:, t, :] @ kernel + h @ recurrent + bias
+        i = _sigmoid(z[:, 0 * units:1 * units])
+        f = _sigmoid(z[:, 1 * units:2 * units])
+        g = np.tanh(z[:, 2 * units:3 * units])
+        o = _sigmoid(z[:, 3 * units:4 * units])
+        cache["c_prev"][:, t, :] = c
+        cache["h_prev"][:, t, :] = h
+        c = f * c + i * g
+        h = o * np.tanh(c)
+        for key, val in (("i", i), ("f", f), ("g", g), ("o", o), ("c", c)):
+            cache[key][:, t, :] = val
+        hs[:, t, :] = h
+    out = hs if return_sequences else hs[:, -1, :]
+    return out, cache
+
+
+def reference_lstm_backward(grad, x, kernel, recurrent, cache, return_sequences):
+    """Seed LSTM BPTT: per-step accumulation of every weight gradient."""
+    n, steps, _features = x.shape
+    units = recurrent.shape[0]
+    if return_sequences:
+        grad_hs = grad
+    else:
+        grad_hs = np.zeros((n, steps, units), dtype=np.float64)
+        grad_hs[:, -1, :] = grad
+    kernel_grad = np.zeros_like(kernel)
+    recurrent_grad = np.zeros_like(recurrent)
+    bias_grad = np.zeros(4 * units, dtype=np.float64)
+    x_grad = np.zeros_like(x)
+    dh_next = np.zeros((n, units), dtype=np.float64)
+    dc_next = np.zeros((n, units), dtype=np.float64)
+    for t in range(steps - 1, -1, -1):
+        i = cache["i"][:, t, :]
+        f = cache["f"][:, t, :]
+        g = cache["g"][:, t, :]
+        o = cache["o"][:, t, :]
+        c = cache["c"][:, t, :]
+        dh = grad_hs[:, t, :] + dh_next
+        tanh_c = np.tanh(c)
+        do = dh * tanh_c
+        dc = dh * o * (1.0 - tanh_c**2) + dc_next
+        di = dc * g
+        dg = dc * i
+        df = dc * cache["c_prev"][:, t, :]
+        dc_next = dc * f
+        dz = np.concatenate(
+            [
+                di * i * (1.0 - i),
+                df * f * (1.0 - f),
+                dg * (1.0 - g**2),
+                do * o * (1.0 - o),
+            ],
+            axis=1,
+        )
+        kernel_grad += x[:, t, :].T @ dz
+        recurrent_grad += cache["h_prev"][:, t, :].T @ dz
+        bias_grad += dz.sum(axis=0)
+        x_grad[:, t, :] = dz @ kernel.T
+        dh_next = dz @ recurrent.T
+    return x_grad, kernel_grad, recurrent_grad, bias_grad
+
+
+def reference_conv1d_forward(x, kernel, bias, left, right):
+    """Seed Conv1D forward: sum of per-offset batched matmuls."""
+    if left or right:
+        x = np.pad(x, ((0, 0), (left, right), (0, 0)))
+    k = kernel.shape[0]
+    out_steps = x.shape[1] - k + 1
+    out = np.zeros((x.shape[0], out_steps, kernel.shape[2]), dtype=np.float64)
+    for offset in range(k):
+        out += x[:, offset:offset + out_steps, :] @ kernel[offset]
+    if bias is not None:
+        out += bias
+    return out, x
+
+
+def reference_conv1d_backward(grad, padded_x, kernel, left, right):
+    """Seed Conv1D backward: per-offset tensordot / scatter-add."""
+    k = kernel.shape[0]
+    out_steps = grad.shape[1]
+    kernel_grad = np.zeros_like(kernel)
+    x_grad = np.zeros_like(padded_x)
+    for offset in range(k):
+        window = padded_x[:, offset:offset + out_steps, :]
+        kernel_grad[offset] = np.tensordot(window, grad, axes=([0, 1], [0, 1]))
+        x_grad[:, offset:offset + out_steps, :] += grad @ kernel[offset].T
+    bias_grad = grad.sum(axis=(0, 1))
+    if left or right:
+        x_grad = x_grad[:, left:x_grad.shape[1] - right, :]
+    return x_grad, kernel_grad, bias_grad
+
+
+# --------------------------------------------------------------------------
+# LSTM equivalence.
+# --------------------------------------------------------------------------
+
+
+def _built_lstm(rng, units=6, features=3, return_sequences=False):
+    layer = LSTM(units, return_sequences=return_sequences)
+    layer.build((None, features), rng)
+    return layer
+
+
+@pytest.mark.parametrize("return_sequences", [False, True])
+@pytest.mark.parametrize("steps", [1, 4, 7])
+class TestLSTMEquivalence:
+    def test_forward_bit_identical_float64(self, rng, return_sequences, steps):
+        layer = _built_lstm(rng, return_sequences=return_sequences)
+        x = rng.normal(size=(5, steps, 3))
+        expected, _ = reference_lstm_forward(
+            x, *layer.params, return_sequences
+        )
+        got = layer.forward(x, training=True)
+        assert got.dtype == np.float64
+        assert np.array_equal(got, expected)
+
+    def test_gradients_match_reference(self, rng, return_sequences, steps):
+        layer = _built_lstm(rng, return_sequences=return_sequences)
+        x = rng.normal(size=(5, steps, 3))
+        out = layer.forward(x, training=True)
+        grad = rng.normal(size=out.shape)
+        x_grad = layer.backward(grad)
+        _, cache = reference_lstm_forward(x, *layer.params, return_sequences)
+        ref = reference_lstm_backward(
+            grad, x, layer.params[0], layer.params[1], cache, return_sequences
+        )
+        np.testing.assert_allclose(x_grad, ref[0], rtol=1e-12, atol=1e-12)
+        for got, want in zip(layer.grads, ref[1:]):
+            np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+
+    def test_float32_tracks_reference(self, rng, return_sequences, steps):
+        layer = _built_lstm(rng, return_sequences=return_sequences)
+        x = rng.normal(size=(5, steps, 3))
+        expected, _ = reference_lstm_forward(
+            x, *layer.params, return_sequences
+        )
+        layer.set_dtype(np.float32)
+        got = layer.forward(x.astype(np.float32), training=True)
+        assert got.dtype == np.float32
+        np.testing.assert_allclose(got, expected, rtol=2e-3, atol=2e-3)
+
+
+class TestLSTMKernelHygiene:
+    def test_repeated_passes_reproduce(self, rng):
+        layer = _built_lstm(rng, return_sequences=True)
+        x = rng.normal(size=(4, 5, 3))
+        grad = rng.normal(size=(4, 5, 6))
+        first_out = layer.forward(x, training=True).copy()
+        layer.backward(grad)
+        first_grads = [g.copy() for g in layer.grads]
+        # Different shapes in between force every scratch slot to cycle.
+        other = rng.normal(size=(9, 2, 3))
+        layer.forward(other, training=True)
+        layer.backward(rng.normal(size=(9, 2, 6)))
+        again = layer.forward(x, training=True)
+        layer.backward(grad)
+        assert np.array_equal(again, first_out)
+        for got, want in zip(layer.grads, first_grads):
+            np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+
+    def test_outputs_are_fresh_arrays(self, rng):
+        layer = _built_lstm(rng, return_sequences=True)
+        x = rng.normal(size=(4, 5, 3))
+        first = layer.forward(x, training=False)
+        snapshot = first.copy()
+        layer.forward(rng.normal(size=(4, 5, 3)), training=False)
+        assert np.array_equal(first, snapshot)
+
+    def test_skip_input_grad_returns_none(self, rng):
+        layer = _built_lstm(rng)
+        layer.skip_input_grad = True
+        out = layer.forward(rng.normal(size=(4, 5, 3)), training=True)
+        assert layer.backward(rng.normal(size=out.shape)) is None
+
+
+# --------------------------------------------------------------------------
+# Conv1D equivalence.
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("padding", ["valid", "same"])
+@pytest.mark.parametrize("kernel_size", [1, 3, 4])
+class TestConv1DEquivalence:
+    def test_forward_backward_match_reference(self, rng, padding, kernel_size):
+        layer = Conv1D(7, kernel_size, padding=padding)
+        layer.build((10, 3), rng)
+        left, right = layer._pad_amounts()
+        x = rng.normal(size=(4, 10, 3))
+        out = layer.forward(x, training=True)
+        expected, padded = reference_conv1d_forward(
+            x, layer.params[0], layer.params[1], left, right
+        )
+        np.testing.assert_allclose(out, expected, rtol=1e-12, atol=1e-12)
+        grad = rng.normal(size=out.shape)
+        x_grad = layer.backward(grad)
+        ref_x, ref_k, ref_b = reference_conv1d_backward(
+            grad, padded, layer.params[0], left, right
+        )
+        np.testing.assert_allclose(x_grad, ref_x, rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(layer.grads[0], ref_k, rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(layer.grads[1], ref_b, rtol=1e-12, atol=1e-12)
+
+    def test_float32_tracks_reference(self, rng, padding, kernel_size):
+        layer = Conv1D(7, kernel_size, padding=padding)
+        layer.build((10, 3), rng)
+        left, right = layer._pad_amounts()
+        expected, _ = reference_conv1d_forward(
+            rng_x := rng.normal(size=(4, 10, 3)),
+            layer.params[0],
+            layer.params[1],
+            left,
+            right,
+        )
+        layer.set_dtype(np.float32)
+        got = layer.forward(rng_x.astype(np.float32), training=False)
+        assert got.dtype == np.float32
+        np.testing.assert_allclose(got, expected, rtol=2e-3, atol=2e-3)
+
+
+class TestConvKernelHygiene:
+    def test_repeated_passes_reproduce(self, rng):
+        layer = Conv1D(5, 3, padding="same")
+        layer.build((8, 4), rng)
+        x = rng.normal(size=(3, 8, 4))
+        grad = rng.normal(size=(3, 8, 5))
+        first_out = layer.forward(x, training=True).copy()
+        layer.backward(grad)
+        first_grads = [g.copy() for g in layer.grads]
+        layer.forward(rng.normal(size=(6, 8, 4)), training=True)
+        layer.backward(rng.normal(size=(6, 8, 5)))
+        again = layer.forward(x, training=True)
+        layer.backward(grad)
+        assert np.array_equal(again, first_out)
+        for got, want in zip(layer.grads, first_grads):
+            np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+
+    def test_global_average_pool_grad_is_broadcast_view(self, rng):
+        layer = GlobalAveragePool1D()
+        x = rng.normal(size=(3, 6, 4))
+        layer.forward(x, training=True)
+        grad = rng.normal(size=(3, 4))
+        back = layer.backward(grad)
+        assert back.shape == (3, 6, 4)
+        np.testing.assert_allclose(back, np.repeat(
+            (grad / 6)[:, np.newaxis, :], 6, axis=1
+        ))
