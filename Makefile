@@ -2,7 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-full bench-check
+.PHONY: test bench bench-full bench-check serve check
+
+REGISTRY ?= registry
 
 # Tier-1 test suite.
 test:
@@ -23,3 +25,13 @@ bench-full:
 # the committed BENCH_*.json baselines.
 bench-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/check_regression.py
+
+# Start the online-phase serving endpoint over the on-disk registry
+# (REGISTRY=dir to point elsewhere; REPRO_SERVE_MAX_BATCH /
+# REPRO_SERVE_MAX_WAIT_MS tune micro-batching, see EXPERIMENTS.md).
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro.serve --registry $(REGISTRY)
+
+# Everything a PR must pass: the tier-1 suite plus the benchmark
+# regression gate.
+check: test bench-check

@@ -42,11 +42,34 @@ SUITES = {
     "ciphers": BENCH_DIR / "bench_ciphers.py",
 }
 
+#: Suites that are standalone scripts (not pytest-benchmark files):
+#: invoked as ``python <script> --output-dir DIR [--quick]`` and expected
+#: to write a schema-compatible ``BENCH_<suite>.json`` themselves.
+SCRIPT_SUITES = {
+    "serve": BENCH_DIR / "bench_serve.py",
+}
+
+ALL_SUITES = {**SUITES, **SCRIPT_SUITES}
+
 _REQUIRED_ENTRY_KEYS = ("name", "mean_s", "stddev_s", "rounds")
+
+
+def _run_script_suite(suite: str, source: Path, quick: bool, output_dir: Path) -> Path:
+    command = [sys.executable, str(source), "--output-dir", str(output_dir)]
+    if quick:
+        command.append("--quick")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    if result.returncode != 0:
+        raise RuntimeError(f"benchmark suite {suite!r} failed")
+    return output_dir / f"BENCH_{suite}.json"
 
 
 def run_suite(suite: str, source: Path, quick: bool, output_dir: Path) -> Path:
     """Run one benchmark file and write its ``BENCH_<suite>.json``."""
+    if suite in SCRIPT_SUITES:
+        return _run_script_suite(suite, source, quick, output_dir)
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = Path(tmp) / "raw.json"
         command = [
@@ -138,7 +161,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=sorted(SUITES),
+        choices=sorted(ALL_SUITES),
         action="append",
         help="run only this suite (repeatable; default: all)",
     )
@@ -149,11 +172,13 @@ def main(argv=None) -> int:
         help="where to write BENCH_*.json (default: benchmarks/)",
     )
     args = parser.parse_args(argv)
-    suites = args.suite or sorted(SUITES)
+    suites = args.suite or sorted(ALL_SUITES)
     args.output_dir.mkdir(parents=True, exist_ok=True)
     written = []
     for suite in suites:
-        written.append(run_suite(suite, SUITES[suite], args.quick, args.output_dir))
+        written.append(
+            run_suite(suite, ALL_SUITES[suite], args.quick, args.output_dir)
+        )
     for path in written:
         validate_bench_file(path)
         print(f"wrote {path}")

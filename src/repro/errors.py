@@ -50,5 +50,25 @@ class SearchError(ReproError):
     """A trail-search routine was configured inconsistently."""
 
 
+class ServeError(ReproError):
+    """Base class for the online serving subsystem (:mod:`repro.serve`)."""
+
+
+class RegistryError(ServeError):
+    """Model registry misuse: unknown id, malformed manifest, bad pin."""
+
+
+class EngineOverloaded(ServeError):
+    """The inference engine's request queue is full (backpressure signal).
+
+    Callers should shed load or retry with backoff; the engine never
+    silently drops a request it has accepted.
+    """
+
+
+class ServeTimeout(ServeError):
+    """A serving request exceeded its deadline before being answered."""
+
+
 class ExperimentError(ReproError):
     """Unknown experiment id or invalid experiment configuration."""

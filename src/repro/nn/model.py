@@ -32,9 +32,15 @@ from repro.nn import layers as layers_mod
 from repro.nn import recurrent as recurrent_mod
 from repro.nn.callbacks import Callback, History
 from repro.nn.layers import Layer, Softmax
-from repro.nn.losses import CategoricalCrossentropy, Loss, get_loss, one_hot
+from repro.nn.losses import (
+    LOSSES,
+    CategoricalCrossentropy,
+    Loss,
+    get_loss,
+    one_hot,
+)
 from repro.nn.metrics import get_metric
-from repro.nn.optimizers import Optimizer, get_optimizer
+from repro.nn.optimizers import OPTIMIZERS, Optimizer, get_optimizer
 from repro.utils.rng import make_rng
 
 _LAYER_MODULES = (layers_mod, conv_mod, recurrent_mod)
@@ -48,6 +54,14 @@ def _layer_class(name: str):
     raise LayerError(f"unknown layer class {name!r} in saved model")
 
 
+def _registry_name(instance, registry: dict) -> Optional[str]:
+    """The Keras-style string key for ``instance``, or ``None`` if custom."""
+    for key, cls in registry.items():
+        if type(instance) is cls:
+            return key
+    return None
+
+
 class Sequential:
     """A linear stack of layers."""
 
@@ -59,6 +73,10 @@ class Sequential:
         self.metric_names: List[str] = []
         self.dtype: np.dtype = np.dtype(np.float64)
         self._output_units: Optional[int] = None
+        # Set when the model came from a saved file that carried no
+        # compile metadata, so misuse errors can say *why* it is not
+        # compiled ("compile the loaded model before ...").
+        self._loaded_uncompiled = False
 
     def add(self, layer: Layer) -> "Sequential":
         """Append a layer; returns self for chaining."""
@@ -109,9 +127,17 @@ class Sequential:
         self.loss = get_loss(loss)
         self.optimizer = get_optimizer(optimizer)
         self.metric_names = list(metrics)
+        self._loaded_uncompiled = False
         if dtype is not None:
             self.set_dtype(dtype)
         return self
+
+    def _require_compiled(self, action: str, optimizer: bool = True) -> None:
+        """Raise a precise error when ``action`` needs a compiled model."""
+        if self.loss is not None and (self.optimizer is not None or not optimizer):
+            return
+        what = "loaded model" if self._loaded_uncompiled else "model"
+        raise TrainingError(f"compile the {what} before {action}")
 
     def set_dtype(self, dtype) -> "Sequential":
         """Switch the model's compute dtype, casting built parameters."""
@@ -213,8 +239,7 @@ class Sequential:
 
     def train_on_batch(self, x: np.ndarray, y: np.ndarray, rng=None) -> float:
         """Run a single gradient step on one batch; returns the loss."""
-        if self.loss is None or self.optimizer is None:
-            raise TrainingError("compile the model before training")
+        self._require_compiled("training")
         x = np.asarray(x, dtype=self.dtype)
         if self.input_shape is None:
             self.build(x.shape[1:], rng)
@@ -242,8 +267,7 @@ class Sequential:
         ``y`` may be integer class labels (converted to one-hot against
         the model's output width) or an already-encoded target matrix.
         """
-        if self.loss is None or self.optimizer is None:
-            raise TrainingError("compile the model before fitting")
+        self._require_compiled("fitting")
         if epochs <= 0:
             raise TrainingError(f"epochs must be positive, got {epochs}")
         if batch_size <= 0:
@@ -346,16 +370,41 @@ class Sequential:
             )
         return out
 
+    def predict_proba(self, x: np.ndarray, batch_size: int = 4096) -> np.ndarray:
+        """Per-class probability predictions, shape ``(n, classes)``.
+
+        When the model ends in a :class:`Softmax` layer the forward
+        output already *is* the probability vector and is returned
+        unchanged (bit-identical to :meth:`predict`); otherwise a
+        numerically stable softmax is applied to the raw outputs.
+        """
+        out = self.predict(x, batch_size)
+        if out.ndim != 2:
+            raise TrainingError(
+                "predict_proba needs a (n, classes) output, got shape "
+                f"{out.shape}; add a classification head"
+            )
+        if self.layers and isinstance(self.layers[-1], Softmax):
+            return out
+        out = out - out.max(axis=1, keepdims=True)
+        np.exp(out, out=out)
+        out /= out.sum(axis=1, keepdims=True)
+        return out
+
     def predict_classes(self, x: np.ndarray, batch_size: int = 4096) -> np.ndarray:
-        """Argmax class predictions."""
-        return self.predict(x, batch_size).argmax(axis=1)
+        """Class predictions as argmax over :meth:`predict_proba`.
+
+        Ties break deterministically to the *lowest* class index
+        (numpy's first-occurrence argmax), so identical inputs always
+        yield identical labels regardless of batch composition.
+        """
+        return self.predict_proba(x, batch_size).argmax(axis=1)
 
     def evaluate(
         self, x: np.ndarray, y: np.ndarray, batch_size: int = 4096
     ) -> Tuple[float, Dict[str, float]]:
         """Return ``(loss, {metric: value})`` on a dataset."""
-        if self.loss is None:
-            raise TrainingError("compile the model before evaluating")
+        self._require_compiled("evaluating", optimizer=False)
         x = np.asarray(x, dtype=self.dtype)
         y = self._encode_targets(x, y)
         pred = self.predict(x, batch_size)
@@ -379,6 +428,21 @@ class Sequential:
                 for layer in self.layers
             ],
         }
+        # Persist the compile state so a loaded model can evaluate/fit
+        # without the caller re-deriving loss/optimizer/metric choices.
+        # Custom (non-registry) loss or optimizer instances cannot be
+        # named, so those models load uncompiled with a clear error.
+        loss_name = _registry_name(self.loss, LOSSES) if self.loss else None
+        optimizer_name = (
+            _registry_name(self.optimizer, OPTIMIZERS) if self.optimizer else None
+        )
+        if loss_name is not None and optimizer_name is not None:
+            config["compile"] = {
+                "loss": loss_name,
+                "optimizer": optimizer_name,
+                "metrics": list(self.metric_names),
+                "dtype": self.dtype.name,
+            }
         arrays = {"config": np.frombuffer(json.dumps(config).encode(), dtype=np.uint8)}
         for i, layer in enumerate(self.layers):
             for j, param in enumerate(layer.params):
@@ -401,6 +465,15 @@ class Sequential:
             for i, layer in enumerate(model.layers):
                 for j in range(len(layer.params)):
                     layer.params[j][...] = data[f"layer{i}_param{j}"]
+        compile_config = config.get("compile")
+        if compile_config is not None:
+            model.compile(
+                loss=compile_config["loss"],
+                optimizer=compile_config["optimizer"],
+                metrics=tuple(compile_config.get("metrics", ("accuracy",))),
+            )
+        else:
+            model._loaded_uncompiled = True
         return model
 
 

@@ -1,0 +1,145 @@
+"""Stdlib HTTP client for the serving endpoints, plus the online driver.
+
+:class:`ServeClient` is a thin ``urllib`` wrapper over the JSON API of
+:mod:`repro.serve.http`.  :meth:`ServeClient.run_online_phase` is the
+paper's attacker-side online loop over the wire: it holds the scenario
+and the oracle under test (the *attacker's* side of the game), streams
+chosen-difference query batches to ``/v1/distinguish`` (the *service*
+holds the trained classifier), and returns the finished session state
+with its CIPHER/RANDOM verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.oracle import Oracle
+from repro.core.scenario import DifferentialScenario
+from repro.errors import ServeError
+from repro.utils.rng import make_rng
+
+
+class ServeClientError(ServeError):
+    """An HTTP request to the serving endpoint failed."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """JSON client bound to one serving endpoint base URL."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        if not base_url.startswith(("http://", "https://")):
+            raise ServeError(f"base_url must be http(s), got {base_url!r}")
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", exc.reason)
+            except (json.JSONDecodeError, OSError):
+                message = str(exc.reason)
+            raise ServeClientError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach serving endpoint {self.base_url}: {exc.reason}"
+            ) from None
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def models(self) -> List[dict]:
+        return self._request("GET", "/v1/models")["models"]
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def classify(
+        self, model: str, features: np.ndarray, timeout_s: Optional[float] = None
+    ) -> dict:
+        """Labels + probability vectors for a feature batch."""
+        body = {"model": model, "features": np.asarray(features).tolist()}
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._request("POST", "/v1/classify", body)
+
+    def open_session(self, model: str, **options) -> dict:
+        """Create a distinguishing session; returns its initial state."""
+        return self._request("POST", "/v1/distinguish", {"model": model, **options})
+
+    def distinguish_batch(
+        self,
+        model: str,
+        features: np.ndarray,
+        labels: np.ndarray,
+        session: Optional[str] = None,
+    ) -> dict:
+        """Feed one query batch into a session (created when ``None``)."""
+        body = {
+            "model": model,
+            "features": np.asarray(features).tolist(),
+            "labels": np.asarray(labels).tolist(),
+        }
+        if session is not None:
+            body["session"] = session
+        return self._request("POST", "/v1/distinguish", body)
+
+    # -- the paper's online phase over the wire ----------------------------
+
+    def run_online_phase(
+        self,
+        model: str,
+        scenario: DifferentialScenario,
+        oracle: Oracle,
+        num_samples: int,
+        rng=None,
+        request_rows: int = 512,
+    ) -> dict:
+        """Drive Algorithm 2's online loop against ``oracle`` over HTTP.
+
+        Generates ``num_samples`` labelled output-difference queries
+        from ``scenario`` against the oracle under test, streams them in
+        ``request_rows``-row batches to ``/v1/distinguish``, and returns
+        the final session state (including ``"verdict"``).  The sample
+        budget is pinned to the generated count so the verdict is always
+        emitted on the last batch.
+        """
+        if num_samples <= 0:
+            raise ServeError(f"num_samples must be positive, got {num_samples}")
+        if request_rows <= 0:
+            raise ServeError(f"request_rows must be positive, got {request_rows}")
+        generator = make_rng(rng)
+        n_per_class = max(1, num_samples // scenario.num_classes)
+        features, labels = scenario.generate_dataset(
+            n_per_class, rng=generator, oracle=oracle
+        )
+        state = self.open_session(model, target_samples=int(features.shape[0]))
+        session_id = state["session"]
+        for begin in range(0, features.shape[0], request_rows):
+            state = self.distinguish_batch(
+                model,
+                features[begin:begin + request_rows],
+                labels[begin:begin + request_rows],
+                session=session_id,
+            )
+        return state

@@ -1,0 +1,363 @@
+"""Stdlib-only HTTP JSON front-end for the serving subsystem.
+
+Endpoints (all JSON in / JSON out):
+
+* ``GET  /healthz``        — liveness: model count, uptime.
+* ``GET  /v1/models``      — registry listing (manifest summaries).
+* ``GET  /v1/metrics``     — the shared :class:`ServeMetrics` snapshot.
+* ``POST /v1/classify``    — ``{"model": <id|name>, "features": [[...]]}``
+  → labels plus per-class probability vectors, served through the
+  micro-batching engine.
+* ``POST /v1/distinguish`` — incremental online phase.  The first call
+  (no ``"session"``) creates an :class:`OnlineSession` from the model's
+  manifest (threshold, sample budget) and returns its id; subsequent
+  calls feed ``{"features": [[...]], "labels": [...]}`` batches and
+  return the running accuracy, progress, and — once the budget is met —
+  the CIPHER/RANDOM verdict.
+
+Error mapping: 400 for malformed requests, 404 for unknown models or
+sessions, 503 with ``Retry-After`` when the engine sheds load, 504 when
+a request times out in the queue.  The server is a stdlib
+``ThreadingHTTPServer``; :meth:`ServeServer.stop` performs a graceful
+shutdown (stop accepting, drain the engines, join the serving thread).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    EngineOverloaded,
+    RegistryError,
+    ReproError,
+    ServeError,
+    ServeTimeout,
+)
+from repro.serve.engine import MicroBatchEngine
+from repro.serve.metrics import ServeMetrics
+from repro.serve.registry import ModelRecord, ModelRegistry
+from repro.serve.sessions import SessionStore
+
+#: Reject request bodies larger than this (64 MiB ~ 2^17 float rows).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _HttpError(Exception):
+    """Internal: carries an HTTP status + message to the handler."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class ServeService:
+    """Registry + per-model engines + sessions behind the HTTP handler."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        max_batch: Optional[int] = None,
+        max_wait_ms: Optional[float] = None,
+        max_queue: int = 1024,
+        metrics: Optional[ServeMetrics] = None,
+    ):
+        self.registry = registry
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.sessions = SessionStore()
+        self._max_batch = max_batch
+        self._max_wait_ms = max_wait_ms
+        self._max_queue = max_queue
+        self._engines: Dict[str, MicroBatchEngine] = {}
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+
+    def engine_for(self, ref: str) -> Tuple[MicroBatchEngine, ModelRecord]:
+        """The (lazily created) engine serving the referenced model."""
+        try:
+            record = self.registry.resolve(ref)
+        except RegistryError as exc:
+            raise _HttpError(404, str(exc)) from None
+        with self._lock:
+            engine = self._engines.get(record.model_id)
+            if engine is None:
+                model, _ = self.registry.load(record.model_id)
+                engine = MicroBatchEngine(
+                    model,
+                    max_batch=self._max_batch,
+                    max_wait_ms=self._max_wait_ms,
+                    max_queue=self._max_queue,
+                    metrics=self.metrics,
+                )
+                self._engines[record.model_id] = engine
+        return engine, record
+
+    def stop(self) -> None:
+        """Drain and stop every model engine."""
+        with self._lock:
+            engines = list(self._engines.values())
+            self._engines.clear()
+        for engine in engines:
+            engine.stop(drain=True)
+
+    # -- endpoint bodies ---------------------------------------------------
+
+    def healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "models": len(self.registry.list()),
+            "sessions": len(self.sessions),
+            "uptime_s": time.monotonic() - self._started,
+        }
+
+    def list_models(self) -> dict:
+        return {"models": [record.summary() for record in self.registry.list()]}
+
+    @staticmethod
+    def _parse_features(body: dict) -> np.ndarray:
+        features = body.get("features")
+        if features is None:
+            raise _HttpError(400, "request body needs a 'features' array")
+        try:
+            array = np.asarray(features, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, f"malformed 'features': {exc}") from None
+        if array.ndim == 1:
+            array = array[None, :]
+        if array.ndim != 2 or array.shape[0] == 0:
+            raise _HttpError(
+                400, f"'features' must be a non-empty 2-D array, got shape "
+                f"{array.shape}"
+            )
+        return array
+
+    def _classify_rows(self, body: dict) -> Tuple[np.ndarray, ModelRecord]:
+        ref = body.get("model")
+        if not ref:
+            raise _HttpError(400, "request body needs a 'model' id or name")
+        engine, record = self.engine_for(str(ref))
+        features = self._parse_features(body)
+        timeout_s = body.get("timeout_s")
+        try:
+            probabilities = engine.classify(features, timeout_s=timeout_s)
+        except EngineOverloaded as exc:
+            raise _HttpError(503, str(exc)) from None
+        except ServeTimeout as exc:
+            raise _HttpError(504, str(exc)) from None
+        except ServeError as exc:
+            raise _HttpError(400, str(exc)) from None
+        return probabilities, record
+
+    def classify(self, body: dict) -> dict:
+        probabilities, record = self._classify_rows(body)
+        return {
+            "model": record.model_id,
+            "labels": probabilities.argmax(axis=1).tolist(),
+            "probabilities": probabilities.tolist(),
+        }
+
+    def distinguish(self, body: dict) -> dict:
+        session_id = body.get("session")
+        if session_id is not None:
+            try:
+                session = self.sessions.get(str(session_id))
+            except ServeError as exc:
+                raise _HttpError(404, str(exc)) from None
+        else:
+            session = self._create_session(body)
+        if body.get("features") is None:
+            return session.state()
+        labels = body.get("labels")
+        if labels is None:
+            raise _HttpError(
+                400, "distinguish updates need 'labels' (the δ-class of "
+                "each query row)"
+            )
+        probabilities, _ = self._classify_rows(body)
+        predicted = probabilities.argmax(axis=1)
+        try:
+            return session.update(predicted, np.asarray(labels))
+        except ServeError as exc:
+            raise _HttpError(400, str(exc)) from None
+
+    def _create_session(self, body: dict):
+        ref = body.get("model")
+        if not ref:
+            raise _HttpError(400, "request body needs a 'model' id or name")
+        try:
+            record = self.registry.resolve(str(ref))
+        except RegistryError as exc:
+            raise _HttpError(404, str(exc)) from None
+        training = record.manifest.get("training")
+        training_accuracy = body.get("training_accuracy")
+        if training_accuracy is None:
+            if not training:
+                raise _HttpError(
+                    400,
+                    f"model {record.model_id!r} has no training manifest; "
+                    "pass 'training_accuracy' explicitly",
+                )
+            training_accuracy = training["validation_accuracy"]
+        num_classes = record.num_classes or 2
+        try:
+            return self.sessions.create(
+                training_accuracy=float(training_accuracy),
+                num_classes=int(body.get("num_classes", num_classes)),
+                target_samples=body.get("target_samples"),
+                error_probability=float(body.get("error_probability", 0.01)),
+                threshold=body.get("threshold"),
+            )
+        except (ReproError, TypeError, ValueError) as exc:
+            raise _HttpError(400, str(exc)) from None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> ServeService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # Silence the default per-request stderr logging.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        del format, args
+
+    def _send_json(self, status: int, payload: dict, headers=()) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _HttpError(400, "POST body must be non-empty JSON")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(
+                413, f"body of {length} bytes exceeds the {MAX_BODY_BYTES} cap"
+            )
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise _HttpError(400, "JSON body must be an object")
+        return body
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, self.service.healthz())
+            elif self.path == "/v1/models":
+                self._send_json(200, self.service.list_models())
+            elif self.path == "/v1/metrics":
+                self._send_json(200, self.service.metrics.snapshot())
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except _HttpError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
+        except Exception as exc:  # never leak a stack trace as a hang
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            body = self._read_body()
+            if self.path == "/v1/classify":
+                self._send_json(200, self.service.classify(body))
+            elif self.path == "/v1/distinguish":
+                self._send_json(200, self.service.distinguish(body))
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except _HttpError as exc:
+            headers = (("Retry-After", "1"),) if exc.status == 503 else ()
+            self._send_json(exc.status, {"error": str(exc)}, headers)
+        except Exception as exc:
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: ServeService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class ServeServer:
+    """A running HTTP serving endpoint with graceful shutdown.
+
+    ``port=0`` binds an ephemeral loopback port (the resolved address is
+    on :attr:`address`), which is what the tests and the load harness
+    use.  Use as a context manager or call :meth:`start`/:meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: Optional[int] = None,
+        max_wait_ms: Optional[float] = None,
+        max_queue: int = 1024,
+        metrics: Optional[ServeMetrics] = None,
+    ):
+        self.service = ServeService(
+            registry,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_queue=max_queue,
+            metrics=metrics,
+        )
+        self._server = _Server((host, port), self.service)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServeServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-serve-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain engines, join."""
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._server.server_close()
+        self.service.stop()
+
+    def __enter__(self) -> "ServeServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def create_server(registry_root: str, host: str = "127.0.0.1", port: int = 0, **kwargs) -> ServeServer:
+    """Convenience: a :class:`ServeServer` over a registry directory."""
+    return ServeServer(ModelRegistry(registry_root), host=host, port=port, **kwargs)

@@ -1,0 +1,143 @@
+"""Serving telemetry: latency percentiles, throughput, batching shape.
+
+One :class:`ServeMetrics` instance is shared by the micro-batching
+engine and the HTTP front-end.  It keeps bounded sliding windows of
+per-request and per-batch latencies (oldest samples are dropped once
+``window`` is full, so a long-lived server's snapshot always reflects
+recent behaviour), plus cumulative counters and a power-of-two batch
+size histogram.  Everything is guarded by one lock; recording is a
+couple of appends, so the hot path stays cheap.
+
+``snapshot()`` renders a JSON-ready dict — the same structure served by
+``GET /v1/metrics`` and embedded in ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ServeError
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100])."""
+    if not values:
+        raise ServeError("cannot take a percentile of no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ServeError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+def _latency_summary(window: Sequence[float]) -> Optional[Dict[str, float]]:
+    if not window:
+        return None
+    values = list(window)
+    return {
+        "mean_ms": 1e3 * sum(values) / len(values),
+        "p50_ms": 1e3 * percentile(values, 50.0),
+        "p95_ms": 1e3 * percentile(values, 95.0),
+        "p99_ms": 1e3 * percentile(values, 99.0),
+        "max_ms": 1e3 * max(values),
+    }
+
+
+class ServeMetrics:
+    """Thread-safe request/batch/queue telemetry for the serving stack."""
+
+    def __init__(self, window: int = 65536):
+        if window <= 0:
+            raise ServeError(f"metrics window must be positive, got {window}")
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._request_latencies: deque = deque(maxlen=window)
+        self._batch_latencies: deque = deque(maxlen=window)
+        self._requests = 0
+        self._rows = 0
+        self._batches = 0
+        self._timeouts = 0
+        self._rejected = 0
+        self._batch_rows = 0
+        self._batch_max = 0
+        self._batch_histogram: Dict[int, int] = {}
+        self._queue_depth_sum = 0
+        self._queue_depth_max = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record_request(self, latency_s: float, rows: int = 1) -> None:
+        """One answered request: end-to-end latency and its row count."""
+        with self._lock:
+            self._requests += 1
+            self._rows += int(rows)
+            self._request_latencies.append(float(latency_s))
+
+    def record_batch(self, size: int, queue_depth: int, latency_s: float) -> None:
+        """One coalesced inference batch run by the engine."""
+        size = int(size)
+        bucket = 1 << max(0, (size - 1)).bit_length()  # power-of-two ceiling
+        with self._lock:
+            self._batches += 1
+            self._batch_rows += size
+            self._batch_max = max(self._batch_max, size)
+            self._batch_histogram[bucket] = self._batch_histogram.get(bucket, 0) + 1
+            self._batch_latencies.append(float(latency_s))
+            self._queue_depth_sum += int(queue_depth)
+            self._queue_depth_max = max(self._queue_depth_max, int(queue_depth))
+
+    def record_timeout(self) -> None:
+        """A request whose deadline expired before it could be answered."""
+        with self._lock:
+            self._timeouts += 1
+
+    def record_rejection(self) -> None:
+        """A request shed by queue-depth backpressure."""
+        with self._lock:
+            self._rejected += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view of everything recorded so far."""
+        with self._lock:
+            elapsed = max(time.monotonic() - self._started, 1e-9)
+            return {
+                "uptime_s": elapsed,
+                "requests": {
+                    "count": self._requests,
+                    "rows": self._rows,
+                    "timeouts": self._timeouts,
+                    "rejected": self._rejected,
+                    "throughput_rps": self._requests / elapsed,
+                    "row_throughput_rps": self._rows / elapsed,
+                    "latency": _latency_summary(self._request_latencies),
+                },
+                "batches": {
+                    "count": self._batches,
+                    "mean_size": (
+                        self._batch_rows / self._batches if self._batches else 0.0
+                    ),
+                    "max_size": self._batch_max,
+                    "size_histogram": {
+                        str(bucket): count
+                        for bucket, count in sorted(self._batch_histogram.items())
+                    },
+                    "latency": _latency_summary(self._batch_latencies),
+                },
+                "queue": {
+                    "mean_depth": (
+                        self._queue_depth_sum / self._batches if self._batches else 0.0
+                    ),
+                    "max_depth": self._queue_depth_max,
+                },
+            }
+
+    def request_latencies(self) -> List[float]:
+        """The retained per-request latency window (seconds), oldest first."""
+        with self._lock:
+            return list(self._request_latencies)

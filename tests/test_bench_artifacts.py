@@ -36,7 +36,7 @@ def _report(**means):
     }
 
 
-@pytest.mark.parametrize("suite", ["nn_ops", "ciphers"])
+@pytest.mark.parametrize("suite", ["nn_ops", "ciphers", "serve"])
 class TestCommittedBaselines:
     def test_baseline_exists_and_validates(self, suite):
         path = BENCH_DIR / f"BENCH_{suite}.json"
@@ -53,6 +53,11 @@ class TestCommittedBaselines:
                 "test_inference_throughput",
             },
             "ciphers": {"test_gimli_full_rounds", "test_gimli_8_rounds"},
+            "serve": {
+                "serve_engine_classify[rows=8,threads=8]",
+                "serve_http_classify[rows=8,threads=8]",
+                "serve_http_distinguish[rows=8,threads=8]",
+            },
         }[suite]
         assert expected <= names
 

@@ -7,8 +7,12 @@ import pytest
 
 from repro.errors import LayerError, TrainingError
 from repro.nn import (
+    LSTM,
+    Conv1D,
     Dense,
+    Dropout,
     EarlyStopping,
+    Flatten,
     ReLU,
     Sequential,
     Softmax,
@@ -153,6 +157,35 @@ class TestInference:
             make_model().build((4,), rng).evaluate(x, y)
 
 
+class TestPredictProba:
+    def test_softmax_model_proba_is_predict(self, rng):
+        x, _ = make_blob_data(rng, n=32)
+        model = make_model().build((4,), rng).compile()
+        assert np.array_equal(model.predict_proba(x), model.predict(x))
+
+    def test_non_softmax_model_gets_normalised(self, rng):
+        x, _ = make_blob_data(rng, n=32)
+        model = Sequential([Dense(8), ReLU(), Dense(3)]).build((4,), rng)
+        proba = model.predict_proba(x)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+        # Softmax is monotone, so class decisions match the raw argmax.
+        assert np.array_equal(
+            proba.argmax(axis=1), model.predict(x).argmax(axis=1)
+        )
+
+    def test_non_2d_output_rejected(self, rng):
+        model = Sequential([Conv1D(3, 2)]).build((8, 2), rng)
+        with pytest.raises(TrainingError, match="classes"):
+            model.predict_proba(np.zeros((4, 8, 2)))
+
+    def test_predict_classes_tie_breaks_to_lowest_index(self):
+        """Exact probability ties resolve to the smallest class index."""
+        model = Sequential([Softmax()]).build((3,))
+        x = np.zeros((5, 3))  # uniform softmax: a three-way tie per row
+        assert np.array_equal(model.predict_classes(x), np.zeros(5, dtype=int))
+
+
 class TestPersistence:
     def test_save_load_roundtrip(self, rng, tmp_path):
         x, y = make_blob_data(rng, n=64)
@@ -171,3 +204,91 @@ class TestPersistence:
     def test_unknown_layer_class(self):
         with pytest.raises(LayerError):
             _layer_class("NotALayer")
+
+
+#: Every persistable layer family: (stack factory, input shape).
+_ROUNDTRIP_STACKS = {
+    "dense": (lambda: [Dense(16), ReLU(), Dense(2), Softmax()], (10,)),
+    "conv1d": (
+        lambda: [Conv1D(4, 3), ReLU(), Flatten(), Dense(2), Softmax()],
+        (12, 2),
+    ),
+    "lstm": (lambda: [LSTM(6), Dense(2), Softmax()], (8, 4)),
+    "dropout": (
+        lambda: [Dense(16), ReLU(), Dropout(0.5), Dense(2), Softmax()],
+        (10,),
+    ),
+}
+
+
+class TestRoundtripEveryLayerFamily:
+    """save/load must be bit-exact for every layer type and dtype."""
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    @pytest.mark.parametrize("family", sorted(_ROUNDTRIP_STACKS))
+    def test_predict_bit_identical_after_roundtrip(
+        self, family, dtype, rng, tmp_path
+    ):
+        layers, input_shape = _ROUNDTRIP_STACKS[family]
+        model = Sequential(layers()).build(input_shape, rng).compile(dtype=dtype)
+        x = np.random.default_rng(5).random((16,) + input_shape)
+        path = os.path.join(tmp_path, f"{family}-{dtype}.npz")
+        model.save(path)
+        loaded = load_model(path)
+        assert loaded.dtype == np.dtype(dtype)
+        assert np.array_equal(model.predict(x), loaded.predict(x))
+        assert loaded.count_params() == model.count_params()
+
+
+class TestCompileStatePersistence:
+    def test_loaded_model_is_compiled(self, rng, tmp_path):
+        x, y = make_blob_data(rng, n=64)
+        model = make_model().build((4,), rng).compile(
+            loss="categorical_crossentropy", optimizer="sgd",
+            metrics=("accuracy",),
+        )
+        model.fit(x, y, epochs=1, rng=rng)
+        path = os.path.join(tmp_path, "m.npz")
+        model.save(path)
+        loaded = load_model(path)
+        assert type(loaded.loss).__name__ == "CategoricalCrossentropy"
+        assert type(loaded.optimizer).__name__ == "SGD"
+        assert loaded.metric_names == ["accuracy"]
+        # evaluate and further fitting work without recompiling.
+        loss, metrics = loaded.evaluate(x, y)
+        assert "accuracy" in metrics
+        loaded.fit(x, y, epochs=1, rng=rng)
+
+    def test_legacy_file_without_compile_info(self, rng, tmp_path):
+        """Files saved before compile persistence load but say why they
+        cannot evaluate."""
+        x, y = make_blob_data(rng, n=32)
+        model = make_model().build((4,), rng)  # never compiled
+        path = os.path.join(tmp_path, "legacy.npz")
+        model.save(path)
+        loaded = load_model(path)
+        assert loaded.loss is None
+        with pytest.raises(TrainingError, match="loaded model before evaluating"):
+            loaded.evaluate(x, y)
+        with pytest.raises(TrainingError, match="loaded model before fitting"):
+            loaded.fit(x, y, rng=rng)
+        # Compiling clears the hint and restores full function.
+        loaded.compile()
+        loaded.evaluate(x, y)
+
+    def test_uncompiled_fresh_model_message_unchanged(self, rng):
+        x, y = make_blob_data(rng, n=16)
+        with pytest.raises(TrainingError, match="compile the model before"):
+            make_model().build((4,), rng).fit(x, y)
+
+    def test_dtype_survives_roundtrip_with_compile(self, rng, tmp_path):
+        model = make_model().build((4,), rng).compile(dtype="float32")
+        path = os.path.join(tmp_path, "f32.npz")
+        model.save(path)
+        loaded = load_model(path)
+        assert loaded.dtype == np.dtype("float32")
+        assert all(
+            param.dtype == np.dtype("float32")
+            for layer in loaded.layers
+            for param in layer.params
+        )

@@ -1,0 +1,48 @@
+"""The serve load harness emits a schema-valid ``BENCH_serve.json``."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _load_module(name):
+    spec = importlib.util.spec_from_file_location(name, BENCH_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+runner = _load_module("run_benchmarks")
+bench_serve = _load_module("bench_serve")
+
+
+class TestBenchServe:
+    def test_quick_run_emits_schema_valid_artifact(self, tmp_path):
+        out_path = bench_serve.run(quick=True, output_dir=tmp_path)
+        assert out_path.name == "BENCH_serve.json"
+        runner.validate_bench_file(out_path)  # the shared schema gate
+        report = json.loads(out_path.read_text())
+        assert report["suite"] == "serve"
+        assert report["quick"] is True
+        names = {entry["name"] for entry in report["benchmarks"]}
+        assert any(name.startswith("serve_engine_classify") for name in names)
+        assert any(name.startswith("serve_http_classify") for name in names)
+        assert any(name.startswith("serve_http_distinguish") for name in names)
+        for entry in report["benchmarks"]:
+            # Serving extras ride along on the standard schema.
+            assert entry["p50_s"] <= entry["p95_s"] <= entry["p99_s"]
+            assert entry["throughput_rps"] > 0
+        engine_entry = next(
+            entry
+            for entry in report["benchmarks"]
+            if entry["name"].startswith("serve_engine")
+        )
+        assert engine_entry["batch_size_histogram"]
+        assert sum(engine_entry["batch_size_histogram"].values()) > 0
+
+    def test_suite_is_wired_into_the_regression_gate(self):
+        assert "serve" in runner.SCRIPT_SUITES
+        assert "serve" in runner.ALL_SUITES
+        assert runner.SCRIPT_SUITES["serve"].exists()

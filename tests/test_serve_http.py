@@ -1,0 +1,219 @@
+"""Tests for the HTTP serving endpoint, client, and the end-to-end game."""
+
+import numpy as np
+import pytest
+
+from repro import GimliHashScenario, MLDistinguisher
+from repro.core.statistics import required_online_samples
+from repro.errors import ServeError
+from repro.nn import Dense, ReLU, Sequential, Softmax
+from repro.nn.architectures import build_mlp
+from repro.serve import (
+    ModelRegistry,
+    ServeClient,
+    ServeClientError,
+    ServeServer,
+)
+
+
+def make_model(rng, features=6, classes=2):
+    model = Sequential([Dense(8), ReLU(), Dense(classes), Softmax()])
+    return model.build((features,), rng).compile(dtype="float32")
+
+
+@pytest.fixture
+def served(rng, tmp_path):
+    """A running server over a registry with one registered model."""
+    registry = ModelRegistry(str(tmp_path))
+    model = make_model(rng)
+    record = registry.register(
+        model,
+        "unit",
+        report={
+            "validation_accuracy": 0.8,
+            "training_accuracy": 0.8,
+            "num_samples": 100,
+            "num_classes": 2,
+        },
+    )
+    with ServeServer(registry, max_wait_ms=1.0) as server:
+        yield ServeClient(server.url), model, record
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        client, _, _ = served
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["models"] == 1
+
+    def test_models_listing(self, served):
+        client, _, record = served
+        models = client.models()
+        assert len(models) == 1
+        assert models[0]["model_id"] == record.model_id
+        assert models[0]["name"] == "unit"
+        assert models[0]["threshold"] == pytest.approx(0.65)
+
+    def test_classify_matches_local_predictions(self, served, rng_factory):
+        client, model, record = served
+        x = rng_factory(9).random((12, 6)).astype(np.float32)
+        response = client.classify(record.model_id, x)
+        local = model.predict_proba(x, batch_size=12)
+        assert response["labels"] == local.argmax(axis=1).tolist()
+        assert np.allclose(
+            np.asarray(response["probabilities"]), local, atol=1e-6
+        )
+
+    def test_classify_by_name(self, served, rng_factory):
+        client, _, _ = served
+        x = rng_factory(9).random((3, 6)).astype(np.float32)
+        assert len(client.classify("unit", x)["labels"]) == 3
+
+    def test_unknown_model_404(self, served):
+        client, _, _ = served
+        with pytest.raises(ServeClientError) as excinfo:
+            client.classify("ghost", [[0.0] * 6])
+        assert excinfo.value.status == 404
+
+    def test_wrong_feature_width_400(self, served):
+        client, _, _ = served
+        with pytest.raises(ServeClientError) as excinfo:
+            client.classify("unit", [[0.0] * 3])
+        assert excinfo.value.status == 400
+
+    def test_malformed_body_400(self, served):
+        client, _, _ = served
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("POST", "/v1/classify", {"model": "unit"})
+        assert excinfo.value.status == 400
+
+    def test_unknown_path_404(self, served):
+        client, _, _ = served
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("GET", "/v1/nope")
+        assert excinfo.value.status == 404
+
+    def test_metrics_snapshot_shape(self, served, rng_factory):
+        client, _, _ = served
+        client.classify("unit", rng_factory(1).random((2, 6)).tolist())
+        snapshot = client.metrics()
+        assert snapshot["requests"]["count"] >= 1
+        assert snapshot["batches"]["count"] >= 1
+
+
+class TestDistinguishEndpoint:
+    def test_session_lifecycle(self, served, rng_factory):
+        client, model, _ = served
+        state = client.open_session("unit", target_samples=8)
+        assert state["samples"] == 0 and state["verdict"] is None
+        x = rng_factory(4).random((8, 6)).astype(np.float32)
+        labels = model.predict_classes(x)  # feed its own predictions:
+        state = client.distinguish_batch("unit", x, labels, state["session"])
+        assert state["samples"] == 8
+        assert state["done"] is True
+        assert state["accuracy"] == pytest.approx(1.0)
+        assert state["verdict"] == "CIPHER"  # accuracy 1.0 > 0.65
+
+    def test_unknown_session_404(self, served):
+        client, _, _ = served
+        with pytest.raises(ServeClientError) as excinfo:
+            client.distinguish_batch("unit", [[0.0] * 6], [0], session="s999")
+        assert excinfo.value.status == 404
+
+    def test_update_without_labels_400(self, served):
+        client, _, _ = served
+        state = client.open_session("unit", target_samples=8)
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request(
+                "POST",
+                "/v1/distinguish",
+                {
+                    "model": "unit",
+                    "session": state["session"],
+                    "features": [[0.0] * 6],
+                },
+            )
+        assert excinfo.value.status == 400
+
+    def test_untrained_model_needs_explicit_accuracy(self, rng, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        registry.register(make_model(rng), "bare")
+        with ServeServer(registry, max_wait_ms=1.0) as server:
+            client = ServeClient(server.url)
+            with pytest.raises(ServeClientError) as excinfo:
+                client.open_session("bare")
+            assert excinfo.value.status == 400
+            state = client.open_session(
+                "bare", training_accuracy=0.9, target_samples=4
+            )
+            assert state["threshold"] == pytest.approx((0.9 + 0.5) / 2)
+
+
+class TestShutdown:
+    def test_graceful_shutdown_then_unreachable(self, rng, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        registry.register(make_model(rng), "unit")
+        server = ServeServer(registry, max_wait_ms=1.0).start()
+        client = ServeClient(server.url, timeout_s=5.0)
+        assert client.healthz()["status"] == "ok"
+        server.stop()
+        with pytest.raises(ServeError):
+            client.healthz()
+        server.stop()  # idempotent
+
+
+class TestEndToEndGame:
+    """ISSUE acceptance: train → register → serve → distinguish over HTTP."""
+
+    def test_online_phase_over_http_reaches_both_verdicts(self, tmp_path):
+        scenario = GimliHashScenario(rounds=5)
+        distinguisher = MLDistinguisher(
+            scenario, model=build_mlp([64, 128], "relu"), epochs=3, rng=31
+        )
+        report = distinguisher.train(num_samples=6000)
+        assert report.validation_accuracy > 0.8
+
+        registry = ModelRegistry(str(tmp_path))
+        record = registry.register(
+            distinguisher.model,
+            "gimli-hash-r5",
+            scenario=scenario,
+            report=report,
+        )
+        n_online = max(
+            200,
+            required_online_samples(
+                report.validation_accuracy, 2, error_probability=0.01
+            ),
+        )
+        with ServeServer(registry) as server:
+            client = ServeClient(server.url)
+            assert client.models()[0]["model_id"] == record.model_id
+
+            cipher_state = client.run_online_phase(
+                "gimli-hash-r5",
+                scenario,
+                scenario.cipher_oracle(),
+                n_online,
+                rng=18,
+            )
+            random_state = client.run_online_phase(
+                "gimli-hash-r5",
+                scenario,
+                scenario.random_oracle(rng=19, memoize=False),
+                n_online,
+                rng=20,
+            )
+        assert cipher_state["verdict"] == "CIPHER"
+        assert random_state["verdict"] == "RANDOM"
+        assert cipher_state["accuracy"] > cipher_state["threshold"]
+        assert random_state["accuracy"] <= random_state["threshold"]
+        # The server-side accuracy estimate must agree with a local
+        # online phase through the very same model.
+        local = distinguisher.test(
+            scenario.cipher_oracle(), n_online, rng=18
+        )
+        assert cipher_state["accuracy"] == pytest.approx(
+            local.accuracy, abs=0.05
+        )

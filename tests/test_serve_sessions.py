@@ -1,0 +1,135 @@
+"""Tests for the incremental online-phase session layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.distinguisher import OnlineResult
+from repro.core.statistics import required_online_samples
+from repro.errors import ServeError
+from repro.serve import OnlineSession, SessionStore
+
+
+def make_session(**overrides):
+    kwargs = dict(
+        training_accuracy=0.8, num_classes=2, target_samples=100
+    )
+    kwargs.update(overrides)
+    return OnlineSession(**kwargs)
+
+
+class TestRunningAccuracy:
+    def test_accuracy_accumulates_across_updates(self):
+        session = make_session()
+        session.update(np.array([0, 1, 1, 0]), np.array([0, 1, 0, 0]))  # 3/4
+        assert session.accuracy == pytest.approx(0.75)
+        session.update(np.array([1, 1]), np.array([0, 0]))  # 3/6
+        assert session.accuracy == pytest.approx(0.5)
+        assert session.samples_seen == 6
+
+    def test_empty_session_has_no_accuracy(self):
+        session = make_session()
+        assert session.accuracy is None
+        assert session.verdict is None
+        assert not session.done
+
+    def test_mismatched_batch_rejected(self):
+        session = make_session()
+        with pytest.raises(ServeError, match="entries"):
+            session.update(np.array([0, 1]), np.array([0]))
+        with pytest.raises(ServeError, match="empty"):
+            session.update(np.array([]), np.array([]))
+
+
+class TestVerdictGating:
+    def test_no_verdict_before_budget(self):
+        session = make_session(target_samples=10)
+        session.update(np.zeros(9), np.zeros(9))
+        assert session.verdict is None
+        with pytest.raises(ServeError, match="incomplete"):
+            session.result()
+
+    def test_cipher_verdict_above_threshold(self):
+        session = make_session(target_samples=10)
+        # Threshold is (0.8 + 0.5) / 2 = 0.65; feed 9/10 correct.
+        session.update(np.zeros(10), np.r_[np.zeros(9), np.ones(1)])
+        assert session.done
+        assert session.verdict == "CIPHER"
+
+    def test_random_verdict_below_threshold(self):
+        session = make_session(target_samples=10)
+        session.update(np.zeros(10), np.r_[np.zeros(5), np.ones(5)])
+        assert session.verdict == "RANDOM"
+
+    def test_default_budget_matches_paper_sizing(self):
+        session = OnlineSession(training_accuracy=0.8, num_classes=2)
+        assert session.target_samples == required_online_samples(0.8, 2, 0.01)
+
+    def test_explicit_threshold_override(self):
+        session = make_session(target_samples=4, threshold=0.9)
+        session.update(np.zeros(4), np.r_[np.zeros(3), np.ones(1)])  # 0.75
+        assert session.verdict == "RANDOM"
+
+
+class TestResult:
+    def test_result_is_core_online_result(self):
+        session = make_session(target_samples=20)
+        session.update(np.zeros(20), np.r_[np.zeros(17), np.ones(3)])
+        result = session.result()
+        assert isinstance(result, OnlineResult)
+        assert result.accuracy == pytest.approx(0.85)
+        assert result.num_samples == 20
+        assert result.is_cipher
+        assert result.verdict == "CIPHER"
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_state_is_json_ready(self):
+        session = make_session(target_samples=8)
+        state = session.update(np.zeros(4), np.zeros(4))
+        assert state["samples"] == 4
+        assert state["progress"] == pytest.approx(0.5)
+        assert state["done"] is False
+        assert state["verdict"] is None
+        assert state["threshold"] == pytest.approx(0.65)
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ServeError):
+            OnlineSession(training_accuracy=0.8, num_classes=1)
+        with pytest.raises(ServeError):
+            make_session(target_samples=0)
+
+
+class TestSessionStore:
+    def test_create_get_drop_roundtrip(self):
+        store = SessionStore()
+        session = store.create(
+            training_accuracy=0.8, num_classes=2, target_samples=10
+        )
+        assert store.get(session.session_id) is session
+        assert len(store) == 1
+        store.drop(session.session_id)
+        assert len(store) == 0
+        with pytest.raises(ServeError, match="unknown session"):
+            store.get(session.session_id)
+
+    def test_ids_are_unique(self):
+        store = SessionStore()
+        ids = {
+            store.create(
+                training_accuracy=0.8, num_classes=2, target_samples=10
+            ).session_id
+            for _ in range(10)
+        }
+        assert len(ids) == 10
+
+    def test_capacity_bound(self):
+        store = SessionStore(max_sessions=2)
+        for _ in range(2):
+            store.create(
+                training_accuracy=0.8, num_classes=2, target_samples=10
+            )
+        with pytest.raises(ServeError, match="full"):
+            store.create(
+                training_accuracy=0.8, num_classes=2, target_samples=10
+            )
