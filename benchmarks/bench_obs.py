@@ -1,0 +1,211 @@
+"""Observability overhead harness: writes ``BENCH_obs.json``.
+
+Answers the one question the obs layer must keep answerable: *what does
+instrumentation cost?*  Two headline entries time the paper's MLP III
+compiled float32 train step (same shape as the ``BENCH_nn_ops.json``
+rows) with observability fully **off** versus fully **on** (JSON
+logging to a null sink, tracing enabled, the per-layer profiler
+attached, a span plus a debug log line per step).  The off entry is the
+<2% acceptance gate against the nn_ops baseline; the on entry bounds
+the worst-case cost of running fully instrumented.
+
+A set of micro entries then times the individual primitives (disabled
+log call, JSON log line, disabled span, enabled span, counter
+increment, histogram observation) so a regression can be attributed to
+one pillar rather than "obs got slower".
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py [--quick] [--output-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+class _NullStream(io.TextIOBase):
+    """A text sink that swallows writes (keeps log cost, drops the I/O)."""
+
+    def write(self, text):  # noqa: A003 - io.TextIOBase signature
+        return len(text)
+
+
+def _time_rounds(fn, rounds: int, iterations: int):
+    """Per-iteration seconds for ``rounds`` timed batches of ``fn``."""
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        samples.append((time.perf_counter() - start) / iterations)
+    return samples
+
+
+def _entry(name: str, samples) -> dict:
+    return {
+        "name": name,
+        "mean_s": statistics.fmean(samples),
+        "stddev_s": statistics.pstdev(samples),
+        "rounds": len(samples),
+    }
+
+
+def _build_model():
+    from repro.nn import Adam, CategoricalCrossentropy
+    from repro.nn.architectures import mlp_iii
+
+    model = mlp_iii()
+    model.build((128,), rng=0)
+    model.compile(loss=CategoricalCrossentropy(), optimizer=Adam(), dtype="float32")
+    return model
+
+
+def _train_batch(rng):
+    from repro.nn.losses import one_hot
+
+    x = (rng.random((256, 128)) > 0.5).astype(np.float32)
+    y = one_hot(rng.integers(0, 2, 256), 2).astype(np.float32)
+    return x, y
+
+
+def run(quick: bool, output_dir: Path) -> Path:
+    from repro.obs import log as obs_log
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import profile as obs_profile
+    from repro.obs import trace as obs_trace
+
+    rng = np.random.default_rng(0x0B5)
+    rounds = 3 if quick else 7
+    step_iters = 2 if quick else 10
+    micro_iters = 2_000 if quick else 50_000
+
+    benchmarks = []
+
+    # -- headline: MLP III compiled float32 train step -------------------
+    model = _build_model()
+    x, y = _train_batch(rng)
+
+    # Off: the default state — log off, no trace, no profiler.
+    obs_log.configure(mode="off")
+    obs_trace.disable()
+    for _ in range(2):  # warm scratch buffers / BLAS threads
+        model.train_on_batch(x, y)
+    samples = _time_rounds(
+        lambda: model.train_on_batch(x, y), rounds, step_iters
+    )
+    benchmarks.append(
+        _entry("obs_off_mlp_iii_train_step[batch=256,float32]", samples)
+    )
+
+    # On: every pillar at once — JSON log line + enabled span per step,
+    # per-layer profiler timing every forward/backward, live histogram.
+    sink = _NullStream()
+    obs_log.configure(mode="json", level="debug", stream=sink)
+    obs_trace.enable()
+    model._profiler = obs_profile.LayerProfiler()
+    logger = obs_log.get_logger("bench.obs")
+    registry = obs_metrics.MetricsRegistry()
+    step_seconds = registry.histogram("bench_step_seconds")
+
+    def instrumented_step():
+        with obs_trace.span("bench.step", batch=256):
+            start = time.perf_counter()
+            loss_value = model.train_on_batch(x, y)
+            step_seconds.observe(time.perf_counter() - start)
+            logger.debug("bench.step", loss=float(loss_value))
+
+    instrumented_step()  # warm
+    samples = _time_rounds(instrumented_step, rounds, step_iters)
+    benchmarks.append(
+        _entry("obs_on_mlp_iii_train_step[batch=256,float32]", samples)
+    )
+    model._profiler = None
+    obs_trace.drain()
+
+    # -- micro: per-primitive costs ---------------------------------------
+    obs_log.configure(mode="off")
+    off_logger = obs_log.get_logger("bench.obs.off")
+    samples = _time_rounds(
+        lambda: off_logger.debug("noop", value=1), rounds, micro_iters
+    )
+    benchmarks.append(_entry("obs_log_disabled_call", samples))
+
+    obs_log.configure(mode="json", level="debug", stream=sink)
+    samples = _time_rounds(
+        lambda: logger.debug("line", value=1.0, label="x"), rounds, micro_iters
+    )
+    benchmarks.append(_entry("obs_log_json_line", samples))
+
+    obs_trace.disable()
+
+    def disabled_span():
+        with obs_trace.span("noop"):
+            pass
+
+    samples = _time_rounds(disabled_span, rounds, micro_iters)
+    benchmarks.append(_entry("obs_span_disabled", samples))
+
+    obs_trace.enable()
+
+    def enabled_span():
+        with obs_trace.span("bench.micro"):
+            pass
+
+    samples = []
+    for _ in range(rounds):
+        obs_trace.drain()  # keep the buffer off its cap between rounds
+        samples.extend(_time_rounds(enabled_span, 1, micro_iters))
+    benchmarks.append(_entry("obs_span_enabled", samples))
+    obs_trace.drain()
+    obs_trace.disable()
+
+    counter = registry.counter("bench_counter_total")
+    samples = _time_rounds(counter.inc, rounds, micro_iters)
+    benchmarks.append(_entry("obs_counter_inc", samples))
+
+    histogram = registry.histogram("bench_histogram_seconds")
+    samples = _time_rounds(
+        lambda: histogram.observe(0.0042), rounds, micro_iters
+    )
+    benchmarks.append(_entry("obs_histogram_observe", samples))
+
+    obs_log.configure(mode="off")
+
+    report = {"suite": "obs", "quick": bool(quick), "benchmarks": benchmarks}
+    output_dir.mkdir(parents=True, exist_ok=True)
+    out_path = output_dir / "BENCH_obs.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return out_path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="few rounds/iterations (fast, noisy)"
+    )
+    parser.add_argument("--output-dir", type=Path, default=BENCH_DIR)
+    args = parser.parse_args(argv)
+    out_path = run(args.quick, args.output_dir)
+    report = json.loads(out_path.read_text())
+    for entry in report["benchmarks"]:
+        scale, unit = (1e3, "ms") if entry["mean_s"] > 1e-4 else (1e6, "us")
+        print(
+            f"{entry['name']}: mean {entry['mean_s'] * scale:.3f} {unit} "
+            f"over {entry['rounds']} rounds"
+        )
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,7 @@ SUITES = {
 #: to write a schema-compatible ``BENCH_<suite>.json`` themselves.
 SCRIPT_SUITES = {
     "serve": BENCH_DIR / "bench_serve.py",
+    "obs": BENCH_DIR / "bench_obs.py",
 }
 
 ALL_SUITES = {**SUITES, **SCRIPT_SUITES}

@@ -33,7 +33,11 @@ import numpy as np
 
 from repro.core.cache import DatasetCache, dataset_cache_key
 from repro.errors import DistinguisherError
+from repro.obs import log as obs_log
+from repro.obs.trace import span
 from repro.utils.rng import RngLike
+
+_log = obs_log.get_logger("repro.parallel")
 
 #: Base inputs per shard.  Chosen so one shard is large enough to keep
 #: the vectorised cipher kernels efficient but small enough that a
@@ -111,16 +115,28 @@ def generate_dataset_sharded(
         key = dataset_cache_key(scenario, n_per_class, shard_size, shuffle, root)
         cached = cache.load(key)
         if cached is not None:
+            _log.debug(
+                "data.cache_hit", n_per_class=n_per_class, key=key[:12]
+            )
             return cached
     children = root.spawn(len(sizes) + 1)
     jobs = [(scenario, size, child) for size, child in zip(sizes, children)]
-    if workers == 1 or len(jobs) == 1:
-        results = [_run_shard(job) for job in jobs]
-    else:
-        with multiprocessing.get_context().Pool(
-            processes=min(workers, len(jobs))
-        ) as pool:
-            results = pool.map(_run_shard, jobs)
+    with span("data.generate", shards=len(jobs), n_per_class=n_per_class,
+              workers=workers):
+        results = []
+        if workers == 1 or len(jobs) == 1:
+            for index, job in enumerate(jobs):
+                results.append(_run_shard(job))
+                _log.debug("data.shard", done=index + 1, total=len(jobs))
+        else:
+            # ``imap`` (order-preserving, like ``map``) so each shard's
+            # completion surfaces as a liveness heartbeat as it lands.
+            with multiprocessing.get_context().Pool(
+                processes=min(workers, len(jobs))
+            ) as pool:
+                for index, result in enumerate(pool.imap(_run_shard, jobs)):
+                    results.append(result)
+                    _log.debug("data.shard", done=index + 1, total=len(jobs))
     # Each unshuffled shard is grouped by class (t blocks of shard_n
     # rows); regroup so the full dataset has the same class-major layout
     # regardless of how the shards were scheduled.
@@ -146,6 +162,7 @@ def run_grid(
     fn: Callable,
     payloads: Sequence,
     workers: Optional[int] = None,
+    label: str = "grid",
 ) -> List:
     """Map ``fn`` over independent grid cells, optionally in worker
     processes.
@@ -153,7 +170,8 @@ def run_grid(
     The experiment tables train one model per (cipher, rounds, network)
     cell; every cell is handed its own pre-derived seed material, so the
     cells are independent and their results order-preserving —
-    ``run_grid`` is then just ``pool.map`` with an in-process fallback.
+    ``run_grid`` is then an order-preserving ``pool.imap`` (with an
+    in-process fallback) that logs a heartbeat as each cell completes.
     ``fn`` and each payload must be picklable (module-level functions
     and plain tuples).  Unlike dataset sharding, the worker count is not
     clamped to the CPU count: cells spend much of their wall-clock in
@@ -171,12 +189,27 @@ def run_grid(
     workers = int(workers)
     if workers < 1:
         raise DistinguisherError(f"workers must be >= 1, got {workers}")
-    if workers == 1 or len(payloads) <= 1:
-        return [fn(payload) for payload in payloads]
-    with multiprocessing.get_context().Pool(
-        processes=min(workers, len(payloads))
-    ) as pool:
-        return pool.map(fn, payloads)
+    # Per-cell completion heartbeats (``label`` names the grid in the
+    # event stream) give long table runs visible liveness; ``imap`` is
+    # order-preserving like ``map``, so results are unchanged.
+    results: List = []
+    with span(f"{label}.run", cells=len(payloads), workers=workers):
+        if workers == 1 or len(payloads) <= 1:
+            for index, payload in enumerate(payloads):
+                results.append(fn(payload))
+                _log.info(
+                    f"{label}.cell", done=index + 1, total=len(payloads)
+                )
+        else:
+            with multiprocessing.get_context().Pool(
+                processes=min(workers, len(payloads))
+            ) as pool:
+                for index, result in enumerate(pool.imap(fn, payloads)):
+                    results.append(result)
+                    _log.info(
+                        f"{label}.cell", done=index + 1, total=len(payloads)
+                    )
+    return results
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:

@@ -6,6 +6,11 @@ Examples::
     REPRO_SCALE=0.2 python -m repro.experiments table2
     python -m repro.experiments table3 --seed 7
     python -m repro.experiments all
+    python -m repro.experiments table2 --run-dir runs/  # result + manifest
+
+``--run-dir`` saves each experiment's result JSON next to a run
+manifest (per-cell spans, REPRO_* knobs, timings); see
+:mod:`repro.experiments.manifest`.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import json
 import sys
 import time
 
+from repro.experiments.manifest import run_with_manifest
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.report import format_table
 
@@ -41,6 +47,12 @@ def main(argv=None) -> int:
         help="experiment to run ('all' runs every registered experiment)",
     )
     parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        help="save <name>_result.json and a <name>_manifest.json "
+        "(per-cell spans, REPRO_* knobs) into this directory",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -49,7 +61,13 @@ def main(argv=None) -> int:
         kwargs = {}
         if args.seed is not None and name not in ("figure1", "complexity"):
             kwargs["rng"] = args.seed
-        result = run_experiment(name, **kwargs)
+        if args.run_dir is not None:
+            result, manifest_path = run_with_manifest(
+                name, args.run_dir, **kwargs
+            )
+            print(f"[{name}] wrote {manifest_path}")
+        else:
+            result = run_experiment(name, **kwargs)
         _print_result(result)
         print(f"[{name} finished in {time.perf_counter() - start:.1f}s]")
         print()

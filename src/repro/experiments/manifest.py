@@ -1,0 +1,103 @@
+"""Run manifests: a machine-readable record of one experiment run.
+
+:func:`run_with_manifest` wraps :func:`~repro.experiments.registry
+.run_experiment` in a root span, captures every span the run produced
+(the table runners open one per grid cell), and writes two files into
+``run_dir``::
+
+    <name>_result.json     the experiment's result dict, verbatim
+    <name>_manifest.json   run metadata + per-cell spans
+
+The manifest carries the experiment name, wall-clock start/duration,
+the scalar keyword arguments, every ``REPRO_*`` environment knob, the
+Python/platform fingerprint, and the span list (name, start, duration,
+parent, attrs) — enough to compare two runs of the same table without
+re-deriving anything from logs.  Tracing is enabled for the duration of
+the call if it was not already on; spans collected *before* the call
+are untouched.
+
+``python -m repro.experiments <name> --run-dir DIR`` routes through
+this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.obs import trace
+
+#: Manifest schema version, bumped on incompatible layout changes.
+MANIFEST_VERSION = 1
+
+
+def _scalar_args(kwargs: Dict) -> Dict:
+    """The JSON-safe scalar subset of an experiment's keyword args."""
+    return {
+        key: value
+        for key, value in kwargs.items()
+        if isinstance(value, (bool, int, float, str)) or value is None
+    }
+
+
+def _repro_env() -> Dict[str, str]:
+    return {
+        key: value
+        for key, value in sorted(os.environ.items())
+        if key.startswith("REPRO_")
+    }
+
+
+def run_with_manifest(name: str, run_dir, **kwargs) -> Tuple[Dict, Path]:
+    """Run experiment ``name`` and write result + manifest into ``run_dir``.
+
+    Returns ``(result, manifest_path)``.  Keyword arguments are passed
+    through to the experiment function unchanged.
+    """
+    from repro.experiments.registry import run_experiment
+
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    was_enabled = trace.is_enabled()
+    if not was_enabled:
+        trace.enable()
+    before = len(trace.finished_spans())
+    started_unix = time.time()
+    start = time.perf_counter()
+    try:
+        with trace.span(f"experiment.{name}"):
+            result = run_experiment(name, **kwargs)
+    finally:
+        duration = time.perf_counter() - start
+        spans = trace.finished_spans()[before:]
+        if not was_enabled:
+            trace.disable()
+    result_path = run_dir / f"{name}_result.json"
+    result_path.write_text(
+        json.dumps(result, indent=2, default=str) + "\n"
+    )
+    manifest = {
+        "manifest_version": MANIFEST_VERSION,
+        "experiment": name,
+        "started_unix": round(started_unix, 3),
+        "duration_s": duration,
+        "args": _scalar_args(kwargs),
+        "env": _repro_env(),
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "result_file": result_path.name,
+        "spans": spans,
+        "dropped_spans": trace.dropped_spans(),
+    }
+    manifest_path = run_dir / f"{name}_manifest.json"
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, default=str) + "\n"
+    )
+    return result, manifest_path

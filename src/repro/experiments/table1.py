@@ -30,6 +30,7 @@ from repro.diffcrypt.trail_search import (
     find_weight_zero_trails,
 )
 from repro.experiments.config import get_workers
+from repro.obs.trace import span
 from repro.utils.rng import derive_rng, make_rng, random_words
 
 
@@ -61,6 +62,11 @@ def _run_table1_cell(payload: Dict) -> Dict:
     identical no matter which process computes it.
     """
     rounds = payload["rounds"]
+    with span("table1.cell", rounds=rounds, search=payload["search"]):
+        return _table1_cell_body(payload, rounds)
+
+
+def _table1_cell_body(payload: Dict, rounds: int) -> Dict:
     exhibited: Optional[float] = None
     empirical: Optional[float] = None
     trail: Optional[DifferentialTrail] = None
@@ -130,5 +136,5 @@ def run_table1(
                 ),
             }
         )
-    rows = run_grid(_run_table1_cell, payloads, workers=workers)
+    rows = run_grid(_run_table1_cell, payloads, workers=workers, label="table1")
     return {"experiment": "table1", "rows": rows}

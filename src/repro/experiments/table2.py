@@ -26,6 +26,7 @@ from repro.core.scenario import GimliCipherScenario, GimliHashScenario
 from repro.errors import DistinguisherAborted
 from repro.experiments.config import default_scale, get_dtype, get_workers
 from repro.nn.architectures import mlp_ii
+from repro.obs.trace import span
 from repro.utils.rng import derive_rng, make_rng
 
 #: Accuracies printed in the paper's Table 2.
@@ -68,6 +69,11 @@ def _run_table2_cell(payload: Dict) -> Dict:
     cell computes the same row no matter which process runs it.
     """
     target, r = payload["target"], payload["rounds"]
+    with span("table2.cell", target=target, rounds=r):
+        return _table2_cell_body(payload, target, r)
+
+
+def _table2_cell_body(payload: Dict, target: str, r: int) -> Dict:
     scenario = _make_scenario(target, r)
     distinguisher = MLDistinguisher(
         scenario,
@@ -185,7 +191,7 @@ def run_table2(
                     "dtype": dtype,
                 }
             )
-    rows = run_grid(_run_table2_cell, payloads, workers=workers)
+    rows = run_grid(_run_table2_cell, payloads, workers=workers, label="table2")
     return {
         "experiment": "table2",
         "offline_samples": offline,

@@ -21,6 +21,7 @@ from repro.nn.architectures import (
     TABLE3_PAPER_PARAMS,
     get_table3_network,
 )
+from repro.obs.trace import span
 from repro.utils.rng import derive_rng, make_rng
 
 
@@ -34,6 +35,11 @@ def _run_table3_cell(payload: Dict) -> Dict:
     is wall-clock and machine-dependent, everything else deterministic).
     """
     name = payload["network"]
+    with span("table3.cell", network=name):
+        return _table3_cell_body(payload, name)
+
+
+def _table3_cell_body(payload: Dict, name: str) -> Dict:
     x_train, y_train = payload["x_train"], payload["y_train"]
     model = get_table3_network(name)
     model.build((x_train.shape[1],), rng=payload["weights_rng"])
@@ -115,7 +121,7 @@ def run_table3(
         }
         for name in names
     ]
-    rows = run_grid(_run_table3_cell, payloads, workers=workers)
+    rows = run_grid(_run_table3_cell, payloads, workers=workers, label="table3")
     return {
         "experiment": "table3",
         "num_samples": x.shape[0],

@@ -16,6 +16,15 @@ Two hot-path features live here:
   training step backpropagates ``(p - y) / n`` directly into the layer
   below the softmax, skipping the softmax Jacobian product (the two are
   algebraically identical; the kernel-equivalence tests check it).
+
+``fit`` is instrumented through :mod:`repro.obs`: per-epoch
+loss/metric events go to the structured logger (``verbose=True`` just
+raises them to ``info`` so the default text sink renders them),
+``train.fit``/``train.epoch`` spans feed the tracer, epoch counters and
+durations the process metrics registry, and ``REPRO_PROFILE=1``
+aggregates per-layer forward/backward time (see
+:mod:`repro.obs.profile`).  None of it touches an RNG stream, so an
+instrumented run is bit-identical to a bare one.
 """
 
 from __future__ import annotations
@@ -27,6 +36,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import LayerError, TrainingError
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs.trace import span
 from repro.nn import conv as conv_mod
 from repro.nn import layers as layers_mod
 from repro.nn import recurrent as recurrent_mod
@@ -44,6 +57,8 @@ from repro.nn.optimizers import OPTIMIZERS, Optimizer, get_optimizer
 from repro.utils.rng import make_rng
 
 _LAYER_MODULES = (layers_mod, conv_mod, recurrent_mod)
+
+_log = obs_log.get_logger("repro.nn")
 
 
 def _layer_class(name: str):
@@ -77,6 +92,10 @@ class Sequential:
         # compile metadata, so misuse errors can say *why* it is not
         # compiled ("compile the loaded model before ...").
         self._loaded_uncompiled = False
+        # Per-layer timing sink; non-None only inside a profiled fit
+        # (REPRO_PROFILE=1).  The last run's numbers stay readable here.
+        self._profiler = None
+        self.last_profile: Optional[List[dict]] = None
 
     def add(self, layer: Layer) -> "Sequential":
         """Append a layer; returns self for chaining."""
@@ -178,11 +197,18 @@ class Sequential:
         out = np.asarray(x, dtype=self.dtype)
         if rng is not None:
             rng = make_rng(rng)
-        for layer in self.layers:
+        prof = self._profiler
+        for index, layer in enumerate(self.layers):
+            if prof is not None:
+                tick = time.perf_counter()
             if layer.stochastic:
                 out = layer.forward(out, training=training, rng=rng)
             else:
                 out = layer.forward(out, training=training)
+            if prof is not None:
+                prof.record(
+                    index, layer.name, "forward", time.perf_counter() - tick
+                )
         return out
 
     def backward(self, grad: np.ndarray) -> Optional[np.ndarray]:
@@ -192,8 +218,16 @@ class Sequential:
         when the bottom parameterised layer skipped it (nothing below it
         has parameters, so the input gradient is never consumed).
         """
-        for layer in reversed(self.layers):
+        prof = self._profiler
+        for index in range(len(self.layers) - 1, -1, -1):
+            layer = self.layers[index]
+            if prof is not None:
+                tick = time.perf_counter()
             grad = layer.backward(grad)
+            if prof is not None:
+                prof.record(
+                    index, layer.name, "backward", time.perf_counter() - tick
+                )
             if grad is None:
                 return None
         return grad
@@ -226,8 +260,17 @@ class Sequential:
             # d(loss)/d(logits) = (p - y) / n: feed it straight into the
             # layer below the softmax, skipping the Jacobian product.
             grad = (pred - yb) / yb.shape[0]
-            for layer in reversed(self.layers[:-1]):
+            prof = self._profiler
+            for index in range(len(self.layers) - 2, -1, -1):
+                layer = self.layers[index]
+                if prof is not None:
+                    tick = time.perf_counter()
                 grad = layer.backward(grad)
+                if prof is not None:
+                    prof.record(
+                        index, layer.name, "backward",
+                        time.perf_counter() - tick,
+                    )
                 if grad is None:
                     break
         else:
@@ -295,39 +338,74 @@ class Sequential:
         fused = self._fused_softmax_cce()
         history = History()
         n = x.shape[0]
-        for epoch in range(epochs):
-            start = time.perf_counter()
-            order = generator.permutation(n) if shuffle else np.arange(n)
-            epoch_loss = 0.0
-            correct = 0.0
-            for begin in range(0, n, batch_size):
-                idx = order[begin:begin + batch_size]
-                xb, yb = x[idx], y[idx]
-                loss_value, pred = self._train_step(xb, yb, fused, rng=generator)
-                epoch_loss += loss_value * len(idx)
-                correct += (pred.argmax(axis=1) == yb.argmax(axis=1)).sum()
-            values: Dict[str, float] = {
-                "loss": epoch_loss / n,
-                "accuracy": correct / n,
-                "time": time.perf_counter() - start,
-            }
-            if validation_data is not None:
-                val_loss, val_metrics = self.evaluate(
-                    validation_data[0], validation_data[1], batch_size=batch_size
-                )
-                values["val_loss"] = val_loss
-                for key, metric_value in val_metrics.items():
-                    values[f"val_{key}"] = metric_value
-            history.append(epoch, values)
-            if verbose:
-                rendered = " ".join(f"{k}={v:.4f}" for k, v in values.items())
-                print(f"epoch {epoch + 1}/{epochs}: {rendered}")
-            stop = False
-            for callback in callbacks:
-                callback.on_epoch_end(epoch, values)
-                stop = stop or callback.stop_training
-            if stop:
-                break
+        # Epoch telemetry flows through the structured logger: with
+        # ``verbose`` the events are ``info`` (rendered by the default
+        # text sink — the old ``print`` is now just a log consumer),
+        # otherwise ``debug`` so REPRO_LOG_LEVEL=debug captures the same
+        # machine-parsable loss/metric trajectory without the chatter.
+        level = "info" if verbose else "debug"
+        epoch_seconds = obs_metrics.REGISTRY.histogram(
+            "repro_train_epoch_seconds"
+        )
+        epochs_total = obs_metrics.REGISTRY.counter("repro_train_epochs_total")
+        if obs_profile.enabled():
+            self._profiler = obs_profile.LayerProfiler()
+        try:
+            with span("train.fit", epochs=epochs, batch_size=batch_size,
+                      samples=n):
+                for epoch in range(epochs):
+                    start = time.perf_counter()
+                    with span("train.epoch", epoch=epoch):
+                        order = (
+                            generator.permutation(n) if shuffle
+                            else np.arange(n)
+                        )
+                        epoch_loss = 0.0
+                        correct = 0.0
+                        for begin in range(0, n, batch_size):
+                            idx = order[begin:begin + batch_size]
+                            xb, yb = x[idx], y[idx]
+                            loss_value, pred = self._train_step(
+                                xb, yb, fused, rng=generator
+                            )
+                            epoch_loss += loss_value * len(idx)
+                            correct += (
+                                pred.argmax(axis=1) == yb.argmax(axis=1)
+                            ).sum()
+                    values: Dict[str, float] = {
+                        "loss": epoch_loss / n,
+                        "accuracy": correct / n,
+                        "time": time.perf_counter() - start,
+                    }
+                    if validation_data is not None:
+                        val_loss, val_metrics = self.evaluate(
+                            validation_data[0],
+                            validation_data[1],
+                            batch_size=batch_size,
+                        )
+                        values["val_loss"] = val_loss
+                        for key, metric_value in val_metrics.items():
+                            values[f"val_{key}"] = metric_value
+                    history.append(epoch, values)
+                    epochs_total.inc()
+                    epoch_seconds.observe(values["time"])
+                    _log.log(
+                        level, "train.epoch",
+                        epoch=epoch + 1, epochs=epochs, **values,
+                    )
+                    stop = False
+                    for callback in callbacks:
+                        callback.on_epoch_end(epoch, values)
+                        stop = stop or callback.stop_training
+                    if stop:
+                        break
+        finally:
+            profiler, self._profiler = self._profiler, None
+        if profiler is not None:
+            self.last_profile = profiler.stats()
+            # REPRO_PROFILE is an explicit debugging opt-in, so the
+            # table goes straight to stdout regardless of log mode.
+            print(profiler.format_table())
         return history
 
     def _output_width(self) -> int:

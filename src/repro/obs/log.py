@@ -1,0 +1,201 @@
+"""Structured JSON-lines logging with levels and bound context.
+
+A log *event* is a flat dict: timestamp, level, logger name, event
+name, the logger's bound context, and per-call fields.  How it is
+rendered is a process-wide configuration, not a per-call concern:
+
+* ``text`` (default) — one human-readable line per event on the
+  console stream (``[repro.nn] train.epoch epoch=1/5 loss=0.6931``),
+  floats shortened for reading;
+* ``json`` — one JSON object per line, every field verbatim, for
+  machine consumption;
+* ``off`` — nothing is rendered and the per-call cost collapses to a
+  level comparison.
+
+Environment knobs (read once at import; :func:`configure` and
+:func:`configure_from_env` override at runtime):
+
+* ``REPRO_LOG`` — ``json`` | ``text`` | ``off`` (default ``text``);
+* ``REPRO_LOG_LEVEL`` — ``debug`` | ``info`` | ``warning`` | ``error``
+  (default ``info``; per-shard/per-batch heartbeats are ``debug``);
+* ``REPRO_LOG_FILE`` — path of an *always JSON-lines* file sink,
+  appended to in addition to the console renderer (inactive when the
+  mode is ``off``).
+
+Loggers are cheap immutable handles: :func:`get_logger` returns one,
+:meth:`Logger.bind` derives one with extra context.  Emission is
+serialised by a module lock so concurrent threads never interleave
+half-lines.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+
+MODE_ENV_VAR = "REPRO_LOG"
+LEVEL_ENV_VAR = "REPRO_LOG_LEVEL"
+FILE_ENV_VAR = "REPRO_LOG_FILE"
+
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+_MODES = ("text", "json", "off")
+
+_lock = threading.Lock()
+_mode: str = "text"
+_threshold: int = LEVELS["info"]
+_stream = None  # None -> sys.stdout at emit time (test-friendly)
+_file_path: Optional[str] = None
+_file_handle: Optional[io.TextIOBase] = None
+
+
+def level_number(level: str) -> int:
+    """The numeric value of a level name (raises on unknown names)."""
+    try:
+        return LEVELS[level]
+    except KeyError:
+        known = ", ".join(sorted(LEVELS))
+        raise ReproError(f"unknown log level {level!r}; known: {known}") from None
+
+
+def configure(
+    mode: Optional[str] = None,
+    level: Optional[str] = None,
+    stream=None,
+    file: Optional[str] = None,
+) -> None:
+    """Override the process logging configuration.
+
+    Only the arguments passed change; ``file=""`` closes the file sink.
+    ``stream`` replaces the console stream (pass ``sys.stdout`` /
+    a ``StringIO``; ``None`` keeps the current one).
+    """
+    global _mode, _threshold, _stream, _file_path, _file_handle
+    with _lock:
+        if mode is not None:
+            if mode not in _MODES:
+                raise ReproError(
+                    f"{MODE_ENV_VAR} must be one of {_MODES}, got {mode!r}"
+                )
+            _mode = mode
+        if level is not None:
+            _threshold = level_number(level)
+        if stream is not None:
+            _stream = stream
+        if file is not None:
+            if _file_handle is not None:
+                _file_handle.close()
+                _file_handle = None
+            _file_path = file or None
+
+
+def configure_from_env() -> None:
+    """(Re-)read ``REPRO_LOG`` / ``REPRO_LOG_LEVEL`` / ``REPRO_LOG_FILE``."""
+    mode = os.environ.get(MODE_ENV_VAR, "") or "text"
+    if mode not in _MODES:
+        raise ReproError(
+            f"{MODE_ENV_VAR} must be one of {_MODES}, got {mode!r}"
+        )
+    level = os.environ.get(LEVEL_ENV_VAR, "") or "info"
+    level_number(level)  # validate before committing anything
+    configure(mode=mode, level=level, file=os.environ.get(FILE_ENV_VAR, ""))
+
+
+def enabled(level: str) -> bool:
+    """Whether an event at ``level`` would currently be emitted."""
+    return _mode != "off" and LEVELS.get(level, 0) >= _threshold
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}" if 1e-4 <= abs(value) < 1e6 or value == 0.0 else f"{value:.3e}"
+    return str(value)
+
+
+def _render_text(record: dict) -> str:
+    fields = " ".join(
+        f"{key}={_format_value(value)}"
+        for key, value in record.items()
+        if key not in ("ts", "level", "logger", "event")
+    )
+    line = f"[{record['logger']}] {record['event']}"
+    return f"{line} {fields}" if fields else line
+
+
+def _emit(record: dict) -> None:
+    global _file_handle
+    with _lock:
+        if _mode == "off":  # re-check: configuration may have raced
+            return
+        if _mode == "json":
+            line = json.dumps(record, default=str)
+        else:
+            line = _render_text(record)
+        stream = _stream if _stream is not None else sys.stdout
+        stream.write(line + "\n")
+        stream.flush()
+        if _file_path is not None:
+            if _file_handle is None:
+                _file_handle = open(_file_path, "a", encoding="utf-8")
+            _file_handle.write(json.dumps(record, default=str) + "\n")
+            _file_handle.flush()
+
+
+class Logger:
+    """An immutable named handle with bound context fields."""
+
+    __slots__ = ("name", "context")
+
+    def __init__(self, name: str, context: Optional[dict] = None):
+        self.name = name
+        self.context = dict(context) if context else {}
+
+    def bind(self, **context) -> "Logger":
+        """A derived logger whose events carry these extra fields."""
+        return Logger(self.name, {**self.context, **context})
+
+    def log(self, level: str, event: str, **fields) -> None:
+        """Emit one event; a no-op below the threshold or when off."""
+        if _mode == "off" or LEVELS.get(level, 0) < _threshold:
+            return
+        record = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        record.update(self.context)
+        record.update(fields)
+        _emit(record)
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+_loggers: Dict[str, Logger] = {}
+
+
+def get_logger(name: str) -> Logger:
+    """The (cached) context-free logger for ``name``."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = _loggers.setdefault(name, Logger(name))
+    return logger
+
+
+configure_from_env()

@@ -1,0 +1,330 @@
+"""Process-wide metrics: counters, gauges, histograms, labeled series.
+
+Three primitives, each thread-safe behind its own lock:
+
+* :class:`Counter` — monotonically increasing float (`.inc()`);
+* :class:`Gauge` — set/inc/dec a current value, with the running max
+  tracked (queue depths, in-flight counts);
+* :class:`Histogram` — cumulative ``count``/``sum`` plus fixed upper
+  buckets (for Prometheus exposition) *and* a bounded sliding window of
+  raw samples for nearest-rank quantiles (p50/p95/p99), so a long-lived
+  process reports recent latency, not its all-time average.
+
+Metrics live in a :class:`MetricsRegistry`, keyed by name + label set;
+``registry.counter("http_requests_total", route="/v1/classify")``
+returns the same series object every time.  ``snapshot()`` renders a
+JSON-able dict, :meth:`MetricsRegistry.to_prometheus` the standard
+Prometheus text exposition (version 0.0.4).
+
+:data:`REGISTRY` is the process-wide default used by the training and
+experiment layers; the serving stack keeps one registry per
+:class:`~repro.serve.metrics.ServeMetrics` instance so parallel
+servers/tests never share counters.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Default latency buckets (seconds), Prometheus-style.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default sliding-window size for histogram quantiles.
+DEFAULT_WINDOW = 8192
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of ``values`` (``q`` in [0, 100])."""
+    if not values:
+        raise ReproError("cannot take a quantile of no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ReproError(f"quantile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {self.name} cannot decrease ({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that goes up and down; tracks its running maximum."""
+
+    __slots__ = ("name", "labels", "_value", "_max", "_lock")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+            if self._value > self._max:
+                self._max = self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+            if self._value > self._max:
+                self._max = self._value
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+
+class Histogram:
+    """Cumulative buckets plus a sliding window for quantiles."""
+
+    __slots__ = (
+        "name", "labels", "buckets", "_bucket_counts", "_count", "_sum",
+        "_window", "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: Tuple[Tuple[str, str], ...] = (),
+        buckets: Optional[Sequence[float]] = None,
+        window: int = DEFAULT_WINDOW,
+    ):
+        if window <= 0:
+            raise ReproError(f"histogram window must be positive, got {window}")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets)) if buckets else DEFAULT_BUCKETS
+        if any(b2 <= b1 for b1, b2 in zip(self.buckets, self.buckets[1:])):
+            raise ReproError(f"histogram {name} buckets must strictly increase")
+        self._bucket_counts = [0] * len(self.buckets)
+        self._count = 0
+        self._sum = 0.0
+        self._window: deque = deque(maxlen=window)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._window.append(value)
+            index = bisect_left(self.buckets, value)
+            if index < len(self.buckets):
+                self._bucket_counts[index] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def window_values(self) -> List[float]:
+        """The retained sample window, oldest first."""
+        with self._lock:
+            return list(self._window)
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the retained window."""
+        return quantile(self.window_values(), q)
+
+    def bucket_counts(self) -> Dict[float, int]:
+        """Per-bucket (non-cumulative) counts keyed by upper bound."""
+        with self._lock:
+            return {
+                upper: count
+                for upper, count in zip(self.buckets, self._bucket_counts)
+            }
+
+    def summary(self) -> Optional[dict]:
+        """count/mean/p50/p95/p99/max over the window (None if empty)."""
+        values = self.window_values()
+        if not values:
+            return None
+        return {
+            "count": self._count,
+            "mean": sum(values) / len(values),
+            "p50": quantile(values, 50.0),
+            "p95": quantile(values, 95.0),
+            "p99": quantile(values, 99.0),
+            "max": max(values),
+        }
+
+
+def _label_key(labels: dict) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Name + label-set indexed store of metric series."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._series: Dict[Tuple[str, tuple], object] = {}
+        self._types: Dict[str, str] = {}
+
+    def _get_or_create(self, kind: str, name: str, labels: dict, factory):
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing_kind = self._types.get(name)
+            if existing_kind is not None and existing_kind != kind:
+                raise ReproError(
+                    f"metric {name!r} is a {existing_kind}, not a {kind}"
+                )
+            series = self._series.get(key)
+            if series is None:
+                series = factory(name, key[1])
+                self._series[key] = series
+                self._types[name] = kind
+            return series
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create("gauge", name, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        window: int = DEFAULT_WINDOW,
+        **labels,
+    ) -> Histogram:
+        return self._get_or_create(
+            "histogram",
+            name,
+            labels,
+            lambda n, key: Histogram(n, key, buckets=buckets, window=window),
+        )
+
+    def series(self) -> List[object]:
+        """Every registered metric series, sorted by (name, labels)."""
+        with self._lock:
+            return [self._series[key] for key in sorted(self._series)]
+
+    def snapshot(self) -> dict:
+        """A JSON-able ``{name: [{labels, ...stats}]}`` view."""
+        out: Dict[str, list] = {}
+        for metric in self.series():
+            entry: dict = {"labels": dict(metric.labels)}
+            if isinstance(metric, Counter):
+                entry["value"] = metric.value
+            elif isinstance(metric, Gauge):
+                entry["value"] = metric.value
+                entry["max"] = metric.max
+            else:
+                entry["count"] = metric.count
+                entry["sum"] = metric.sum
+                summary = metric.summary()
+                if summary is not None:
+                    entry["window"] = summary
+            out.setdefault(metric.name, []).append(entry)
+        return out
+
+    def to_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format (0.0.4)."""
+        lines: List[str] = []
+        seen_types = set()
+        for metric in self.series():
+            name = _NAME_RE.sub("_", metric.name)
+            kind = self._types[metric.name]
+            if metric.name not in seen_types:
+                seen_types.add(metric.name)
+                lines.append(f"# TYPE {name} {kind}")
+            if isinstance(metric, Counter):
+                lines.append(
+                    f"{name}{_format_labels(metric.labels)} "
+                    f"{_format_number(metric.value)}"
+                )
+            elif isinstance(metric, Gauge):
+                lines.append(
+                    f"{name}{_format_labels(metric.labels)} "
+                    f"{_format_number(metric.value)}"
+                )
+            else:
+                cumulative = 0
+                for upper, count in metric.bucket_counts().items():
+                    cumulative += count
+                    labels = metric.labels + (("le", _format_number(upper)),)
+                    lines.append(
+                        f"{name}_bucket{_format_labels(labels)} {cumulative}"
+                    )
+                inf_labels = metric.labels + (("le", "+Inf"),)
+                lines.append(
+                    f"{name}_bucket{_format_labels(inf_labels)} {metric.count}"
+                )
+                lines.append(
+                    f"{name}_sum{_format_labels(metric.labels)} "
+                    f"{_format_number(metric.sum)}"
+                )
+                lines.append(
+                    f"{name}_count{_format_labels(metric.labels)} {metric.count}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_LABEL_RE.sub("_", key)}="{_escape_label(value)}"'
+        for key, value in labels
+    )
+    return "{" + inner + "}"
+
+
+#: The process-wide default registry (training, experiments).
+REGISTRY = MetricsRegistry()

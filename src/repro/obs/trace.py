@@ -1,0 +1,205 @@
+"""Span-based tracing with Chrome-trace export.
+
+A *span* is a named, timed region of code::
+
+    from repro.obs.trace import span
+
+    with span("train.epoch", epoch=3):
+        ...
+
+Spans nest (each thread keeps its own stack, so the recorded spans
+carry their parent's name and depth), time with the monotonic
+``perf_counter`` clock, and are collected into a bounded process-wide
+buffer under a lock.  When tracing is disabled — the default —
+``span()`` returns one shared no-op context manager, so the cost on an
+instrumented hot path is a single module-flag test.
+
+``REPRO_TRACE=<path>`` enables tracing at import and registers an
+``atexit`` dump of the collected spans in Chrome trace-event format
+(open the file in ``chrome://tracing`` or Perfetto).  The values ``1``
+and ``true`` select the default path ``repro_trace.json``.
+Programmatic control: :func:`enable`, :func:`disable`, :func:`dump`,
+:func:`drain`.
+
+Worker processes (``repro.core.parallel``) inherit the flag but keep
+their own buffers; spans opened inside pool workers are not merged
+back into the parent — per-cell spans for the run manifest come from
+the parent-side serial path or from the runners themselves.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+
+TRACE_ENV_VAR = "REPRO_TRACE"
+DEFAULT_TRACE_PATH = "repro_trace.json"
+
+#: Collection cap: a runaway loop cannot grow the buffer unboundedly.
+MAX_SPANS = 200_000
+
+_lock = threading.Lock()
+_enabled = False
+_trace_path: Optional[str] = None
+_finished: List[dict] = []
+_dropped = 0
+_origin = time.perf_counter()
+_tls = threading.local()
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    __slots__ = ("name", "attrs", "start", "parent", "depth")
+
+    def __init__(self, name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.parent: Optional[str] = None
+        self.depth = 0
+
+    def __enter__(self) -> "_Span":
+        stack = getattr(_tls, "stack", None)
+        if stack is None:
+            stack = _tls.stack = []
+        self.parent = stack[-1].name if stack else None
+        self.depth = len(stack)
+        stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        stack = getattr(_tls, "stack", [])
+        if stack and stack[-1] is self:
+            stack.pop()
+        record = {
+            "name": self.name,
+            "start_us": (self.start - _origin) * 1e6,
+            "dur_us": (end - self.start) * 1e6,
+            "thread": threading.get_ident(),
+            "parent": self.parent,
+            "depth": self.depth,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        global _dropped
+        with _lock:
+            if len(_finished) < MAX_SPANS:
+                _finished.append(record)
+            else:
+                _dropped += 1
+        return False  # never swallow the exception
+
+
+def span(name: str, **attrs):
+    """A context manager timing the enclosed region (no-op if disabled)."""
+    if not _enabled:
+        return _NOOP
+    return _Span(name, attrs)
+
+
+def is_enabled() -> bool:
+    """Whether spans are currently being collected."""
+    return _enabled
+
+
+def enable(path: Optional[str] = None) -> None:
+    """Start collecting spans; ``path`` sets the :func:`dump` default."""
+    global _enabled, _trace_path
+    _enabled = True
+    if path is not None:
+        _trace_path = path
+
+
+def disable() -> None:
+    """Stop collecting spans (already-collected spans are kept)."""
+    global _enabled
+    _enabled = False
+
+
+def finished_spans() -> List[dict]:
+    """A snapshot of every span collected so far (oldest first)."""
+    with _lock:
+        return list(_finished)
+
+
+def drain() -> List[dict]:
+    """Remove and return every collected span."""
+    global _dropped
+    with _lock:
+        spans, _finished[:] = list(_finished), []
+        _dropped = 0
+        return spans
+
+
+def dropped_spans() -> int:
+    """Spans discarded because the buffer hit :data:`MAX_SPANS`."""
+    with _lock:
+        return _dropped
+
+
+def chrome_trace(spans: Optional[List[dict]] = None) -> Dict:
+    """The spans as a Chrome trace-event JSON object (``ph: "X"`` events)."""
+    if spans is None:
+        spans = finished_spans()
+    pid = os.getpid()
+    events = [
+        {
+            "name": record["name"],
+            "cat": "repro",
+            "ph": "X",
+            "ts": record["start_us"],
+            "dur": record["dur_us"],
+            "pid": pid,
+            "tid": record["thread"],
+            "args": record.get("attrs", {}),
+        }
+        for record in spans
+    ]
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dump(path: Optional[str] = None) -> str:
+    """Write the collected spans as Chrome trace JSON; returns the path."""
+    target = path or _trace_path
+    if not target:
+        raise ReproError(
+            "no trace path: pass one, or set REPRO_TRACE / enable(path=...)"
+        )
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(), handle)
+    return target
+
+
+def _dump_at_exit() -> None:
+    if _enabled and _trace_path and finished_spans():
+        dump()
+
+
+_env = os.environ.get(TRACE_ENV_VAR, "")
+if _env:
+    enable(DEFAULT_TRACE_PATH if _env.lower() in ("1", "true") else _env)
+    atexit.register(_dump_at_exit)

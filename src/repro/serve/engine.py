@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.errors import EngineOverloaded, ServeError, ServeTimeout
 from repro.nn.model import Sequential
+from repro.obs.trace import span
 from repro.serve.metrics import ServeMetrics
 
 #: Environment knobs (see EXPERIMENTS.md, "Serving knobs").
@@ -244,11 +245,17 @@ class MicroBatchEngine:
                     break
                 batch.append(nxt)
                 rows += nxt.rows
-            self._run_batch(batch)
+            # Sample the queue depth the moment the batch is assembled,
+            # under the engine lock, so the recorded depth is the
+            # backlog this batch actually left behind — not whatever
+            # the queue happens to hold after the predict finishes.
+            with self._lock:
+                depth = self._queue.qsize()
+            self._run_batch(batch, depth)
             if stop_after:
                 return
 
-    def _run_batch(self, batch: List[_Request]) -> None:
+    def _run_batch(self, batch: List[_Request], queue_depth: int) -> None:
         now = time.monotonic()
         live: List[_Request] = []
         for request in batch:
@@ -276,17 +283,17 @@ class MicroBatchEngine:
             # One fused predict over the whole coalesced batch — the
             # per-row results are exactly those of an unbatched
             # ``predict_proba`` call on the same concatenated rows.
-            probabilities = self.model.predict_proba(
-                features, batch_size=max(features.shape[0], 1)
-            )
+            with span("serve.batch", rows=int(features.shape[0]),
+                      requests=len(live)):
+                probabilities = self.model.predict_proba(
+                    features, batch_size=max(features.shape[0], 1)
+                )
         except BaseException as exc:  # propagate to every waiter
             for request in live:
                 request.future.set_exception(exc)
             return
         latency = time.perf_counter() - start
-        self.metrics.record_batch(
-            features.shape[0], self._queue.qsize(), latency
-        )
+        self.metrics.record_batch(features.shape[0], queue_depth, latency)
         offset = 0
         done = time.monotonic()
         for request in live:

@@ -4,7 +4,12 @@ Endpoints (all JSON in / JSON out):
 
 * ``GET  /healthz``        — liveness: model count, uptime.
 * ``GET  /v1/models``      — registry listing (manifest summaries).
-* ``GET  /v1/metrics``     — the shared :class:`ServeMetrics` snapshot.
+* ``GET  /v1/metrics``     — the shared :class:`ServeMetrics` snapshot;
+  ``?format=prometheus`` renders the backing
+  :class:`~repro.obs.metrics.MetricsRegistry` as Prometheus text
+  exposition instead (serve counters/histograms plus the per-route
+  ``repro_http_requests_total`` / ``repro_http_request_duration_seconds``
+  series recorded by this handler).
 * ``POST /v1/classify``    — ``{"model": <id|name>, "features": [[...]]}``
   → labels plus per-class probability vectors, served through the
   micro-batching engine.
@@ -29,6 +34,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
@@ -46,6 +52,13 @@ from repro.serve.sessions import SessionStore
 
 #: Reject request bodies larger than this (64 MiB ~ 2^17 float rows).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Paths whose route label is their own name; everything else is
+#: grouped under "other" so unknown paths can't explode label
+#: cardinality in the metrics registry.
+KNOWN_ROUTES = frozenset(
+    ("/healthz", "/v1/models", "/v1/metrics", "/v1/classify", "/v1/distinguish")
+)
 
 
 class _HttpError(Exception):
@@ -228,9 +241,17 @@ class _Handler(BaseHTTPRequestHandler):
         del format, args
 
     def _send_json(self, status: int, payload: dict, headers=()) -> None:
-        body = json.dumps(payload).encode()
+        self._send_bytes(
+            status, json.dumps(payload).encode(), "application/json", headers
+        )
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_bytes(status, text.encode(), content_type, ())
+
+    def _send_bytes(self, status, body, content_type, headers) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in headers:
             self.send_header(name, value)
@@ -254,27 +275,63 @@ class _Handler(BaseHTTPRequestHandler):
             raise _HttpError(400, "JSON body must be an object")
         return body
 
+    def _record(self, method: str, route: str, started: float) -> None:
+        """Per-route request counter + latency histogram (obs registry)."""
+        registry = self.service.metrics.registry
+        registry.counter(
+            "repro_http_requests_total",
+            method=method,
+            route=route,
+            status=str(getattr(self, "_status", 500)),
+        ).inc()
+        registry.histogram(
+            "repro_http_request_duration_seconds", route=route
+        ).observe(time.perf_counter() - started)
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        started = time.perf_counter()
+        parts = urlsplit(self.path)
+        route = parts.path if parts.path in KNOWN_ROUTES else "other"
         try:
-            if self.path == "/healthz":
+            if parts.path == "/healthz":
                 self._send_json(200, self.service.healthz())
-            elif self.path == "/v1/models":
+            elif parts.path == "/v1/models":
                 self._send_json(200, self.service.list_models())
-            elif self.path == "/v1/metrics":
-                self._send_json(200, self.service.metrics.snapshot())
+            elif parts.path == "/v1/metrics":
+                query = parse_qs(parts.query)
+                wire_format = query.get("format", ["json"])[-1]
+                if wire_format == "prometheus":
+                    self._send_text(
+                        200,
+                        self.service.metrics.registry.to_prometheus(),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                elif wire_format == "json":
+                    self._send_json(200, self.service.metrics.snapshot())
+                else:
+                    self._send_json(
+                        400,
+                        {"error": f"unknown metrics format {wire_format!r}; "
+                         "expected 'json' or 'prometheus'"},
+                    )
             else:
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
         except _HttpError as exc:
             self._send_json(exc.status, {"error": str(exc)})
         except Exception as exc:  # never leak a stack trace as a hang
             self._send_json(500, {"error": f"internal error: {exc}"})
+        finally:
+            self._record("GET", route, started)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        started = time.perf_counter()
+        parts = urlsplit(self.path)
+        route = parts.path if parts.path in KNOWN_ROUTES else "other"
         try:
             body = self._read_body()
-            if self.path == "/v1/classify":
+            if parts.path == "/v1/classify":
                 self._send_json(200, self.service.classify(body))
-            elif self.path == "/v1/distinguish":
+            elif parts.path == "/v1/distinguish":
                 self._send_json(200, self.service.distinguish(body))
             else:
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
@@ -283,6 +340,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(exc.status, {"error": str(exc)}, headers)
         except Exception as exc:
             self._send_json(500, {"error": f"internal error: {exc}"})
+        finally:
+            self._record("POST", route, started)
 
 
 class _Server(ThreadingHTTPServer):

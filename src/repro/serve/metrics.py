@@ -1,15 +1,20 @@
 """Serving telemetry: latency percentiles, throughput, batching shape.
 
 One :class:`ServeMetrics` instance is shared by the micro-batching
-engine and the HTTP front-end.  It keeps bounded sliding windows of
-per-request and per-batch latencies (oldest samples are dropped once
-``window`` is full, so a long-lived server's snapshot always reflects
-recent behaviour), plus cumulative counters and a power-of-two batch
-size histogram.  Everything is guarded by one lock; recording is a
-couple of appends, so the hot path stays cheap.
+engine and the HTTP front-end.  Since the observability PR it is a thin
+facade over a :class:`repro.obs.metrics.MetricsRegistry`: counters,
+gauges, and windowed histograms live in the registry (so the same
+numbers come out of ``GET /v1/metrics?format=prometheus``), while
+``snapshot()`` keeps rendering the exact JSON structure the original
+implementation served at ``GET /v1/metrics`` and embedded in
+``BENCH_serve.json``.
 
-``snapshot()`` renders a JSON-ready dict — the same structure served by
-``GET /v1/metrics`` and embedded in ``BENCH_serve.json``.
+Each instance gets its own registry by default — two servers (or two
+tests) never share series — but a shared registry can be injected when
+one exposition should cover several components.  The per-request and
+per-batch latency histograms keep bounded sliding windows (oldest
+samples drop once ``window`` is full), so a long-lived server's
+percentiles always reflect recent behaviour.
 """
 
 from __future__ import annotations
@@ -17,10 +22,14 @@ from __future__ import annotations
 import math
 import threading
 import time
-from collections import deque
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ServeError
+from repro.obs.metrics import MetricsRegistry
+
+#: Batch-size histogram buckets: power-of-two ceilings, matching the
+#: original implementation's bucketing rule (3 rows -> bucket 4).
+BATCH_SIZE_BUCKETS = tuple(1 << i for i in range(21))
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -50,94 +59,116 @@ def _latency_summary(window: Sequence[float]) -> Optional[Dict[str, float]]:
 class ServeMetrics:
     """Thread-safe request/batch/queue telemetry for the serving stack."""
 
-    def __init__(self, window: int = 65536):
+    def __init__(self, window: int = 65536, registry: Optional[MetricsRegistry] = None):
         if window <= 0:
             raise ServeError(f"metrics window must be positive, got {window}")
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
         self._started = time.monotonic()
-        self._request_latencies: deque = deque(maxlen=window)
-        self._batch_latencies: deque = deque(maxlen=window)
-        self._requests = 0
-        self._rows = 0
-        self._batches = 0
-        self._timeouts = 0
-        self._rejected = 0
-        self._batch_rows = 0
+        self._requests = self.registry.counter("repro_serve_requests_total")
+        self._rows = self.registry.counter("repro_serve_rows_total")
+        self._timeouts = self.registry.counter("repro_serve_timeouts_total")
+        self._rejected = self.registry.counter("repro_serve_rejected_total")
+        self._batches = self.registry.counter("repro_serve_batches_total")
+        self._batch_rows = self.registry.counter("repro_serve_batch_rows_total")
+        self._request_latency = self.registry.histogram(
+            "repro_serve_request_latency_seconds", window=window
+        )
+        self._batch_latency = self.registry.histogram(
+            "repro_serve_batch_latency_seconds", window=window
+        )
+        self._batch_size = self.registry.histogram(
+            "repro_serve_batch_size", buckets=BATCH_SIZE_BUCKETS, window=window
+        )
+        self._queue_depth = self.registry.gauge("repro_serve_queue_depth")
+        # Scalars with no Prometheus analogue (the JSON keeps them).
         self._batch_max = 0
-        self._batch_histogram: Dict[int, int] = {}
         self._queue_depth_sum = 0
-        self._queue_depth_max = 0
 
     # -- recording ---------------------------------------------------------
 
     def record_request(self, latency_s: float, rows: int = 1) -> None:
         """One answered request: end-to-end latency and its row count."""
-        with self._lock:
-            self._requests += 1
-            self._rows += int(rows)
-            self._request_latencies.append(float(latency_s))
+        self._requests.inc()
+        self._rows.inc(int(rows))
+        self._request_latency.observe(float(latency_s))
 
     def record_batch(self, size: int, queue_depth: int, latency_s: float) -> None:
-        """One coalesced inference batch run by the engine."""
+        """One coalesced inference batch run by the engine.
+
+        ``queue_depth`` is the depth sampled by the engine *when the
+        batch was assembled* (under the engine lock), not re-read here.
+        """
         size = int(size)
-        bucket = 1 << max(0, (size - 1)).bit_length()  # power-of-two ceiling
+        self._batches.inc()
+        self._batch_rows.inc(size)
+        self._batch_size.observe(size)
+        self._batch_latency.observe(float(latency_s))
+        self._queue_depth.set(int(queue_depth))
         with self._lock:
-            self._batches += 1
-            self._batch_rows += size
             self._batch_max = max(self._batch_max, size)
-            self._batch_histogram[bucket] = self._batch_histogram.get(bucket, 0) + 1
-            self._batch_latencies.append(float(latency_s))
             self._queue_depth_sum += int(queue_depth)
-            self._queue_depth_max = max(self._queue_depth_max, int(queue_depth))
 
     def record_timeout(self) -> None:
         """A request whose deadline expired before it could be answered."""
-        with self._lock:
-            self._timeouts += 1
+        self._timeouts.inc()
 
     def record_rejection(self) -> None:
         """A request shed by queue-depth backpressure."""
-        with self._lock:
-            self._rejected += 1
+        self._rejected.inc()
 
     # -- reporting ---------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """A JSON-ready view of everything recorded so far."""
+        """A JSON-ready view of everything recorded so far.
+
+        Structure (and values) are identical to the pre-registry
+        implementation; ``test_serve_http.py`` and ``BENCH_serve.json``
+        consume it unchanged.
+        """
         with self._lock:
-            elapsed = max(time.monotonic() - self._started, 1e-9)
-            return {
-                "uptime_s": elapsed,
-                "requests": {
-                    "count": self._requests,
-                    "rows": self._rows,
-                    "timeouts": self._timeouts,
-                    "rejected": self._rejected,
-                    "throughput_rps": self._requests / elapsed,
-                    "row_throughput_rps": self._rows / elapsed,
-                    "latency": _latency_summary(self._request_latencies),
+            batch_max = self._batch_max
+            queue_depth_sum = self._queue_depth_sum
+        elapsed = max(time.monotonic() - self._started, 1e-9)
+        requests = int(self._requests.value)
+        batches = int(self._batches.value)
+        size_counts = self._batch_size.bucket_counts()
+        return {
+            "uptime_s": elapsed,
+            "requests": {
+                "count": requests,
+                "rows": int(self._rows.value),
+                "timeouts": int(self._timeouts.value),
+                "rejected": int(self._rejected.value),
+                "throughput_rps": requests / elapsed,
+                "row_throughput_rps": self._rows.value / elapsed,
+                "latency": _latency_summary(
+                    self._request_latency.window_values()
+                ),
+            },
+            "batches": {
+                "count": batches,
+                "mean_size": (
+                    self._batch_rows.value / batches if batches else 0.0
+                ),
+                "max_size": batch_max,
+                "size_histogram": {
+                    str(int(bucket)): count
+                    for bucket, count in sorted(size_counts.items())
+                    if count
                 },
-                "batches": {
-                    "count": self._batches,
-                    "mean_size": (
-                        self._batch_rows / self._batches if self._batches else 0.0
-                    ),
-                    "max_size": self._batch_max,
-                    "size_histogram": {
-                        str(bucket): count
-                        for bucket, count in sorted(self._batch_histogram.items())
-                    },
-                    "latency": _latency_summary(self._batch_latencies),
-                },
-                "queue": {
-                    "mean_depth": (
-                        self._queue_depth_sum / self._batches if self._batches else 0.0
-                    ),
-                    "max_depth": self._queue_depth_max,
-                },
-            }
+                "latency": _latency_summary(
+                    self._batch_latency.window_values()
+                ),
+            },
+            "queue": {
+                "mean_depth": (
+                    queue_depth_sum / batches if batches else 0.0
+                ),
+                "max_depth": int(self._queue_depth.max),
+            },
+        }
 
     def request_latencies(self) -> List[float]:
         """The retained per-request latency window (seconds), oldest first."""
-        with self._lock:
-            return list(self._request_latencies)
+        return self._request_latency.window_values()

@@ -36,7 +36,7 @@ def _report(**means):
     }
 
 
-@pytest.mark.parametrize("suite", ["nn_ops", "ciphers", "serve"])
+@pytest.mark.parametrize("suite", ["nn_ops", "ciphers", "serve", "obs"])
 class TestCommittedBaselines:
     def test_baseline_exists_and_validates(self, suite):
         path = BENCH_DIR / f"BENCH_{suite}.json"
@@ -57,6 +57,15 @@ class TestCommittedBaselines:
                 "serve_engine_classify[rows=8,threads=8]",
                 "serve_http_classify[rows=8,threads=8]",
                 "serve_http_distinguish[rows=8,threads=8]",
+            },
+            "obs": {
+                "obs_off_mlp_iii_train_step[batch=256,float32]",
+                "obs_on_mlp_iii_train_step[batch=256,float32]",
+                "obs_span_disabled",
+                "obs_span_enabled",
+                "obs_log_json_line",
+                "obs_counter_inc",
+                "obs_histogram_observe",
             },
         }[suite]
         assert expected <= names

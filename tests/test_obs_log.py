@@ -1,0 +1,234 @@
+"""Tests for repro.obs.log: structured JSON-lines logging.
+
+The contract under test: every emitted event is one line, carries the
+schema fields (ts/level/logger/event) plus bound context and per-call
+fields, respects the level threshold, and costs nothing observable when
+the mode is ``off``.  ``Sequential.fit(verbose=True)`` is a plain
+consumer of this logger.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import log as obs_log
+
+
+@pytest.fixture(autouse=True)
+def _restore_logging():
+    """Leave the process-wide logging configuration as we found it."""
+    saved = (
+        obs_log._mode,
+        obs_log._threshold,
+        obs_log._stream,
+        obs_log._file_path,
+    )
+    yield
+    obs_log._mode, obs_log._threshold, obs_log._stream, obs_log._file_path = saved
+    if obs_log._file_handle is not None:
+        obs_log._file_handle.close()
+        obs_log._file_handle = None
+
+
+def _capture(mode="json", level="debug"):
+    sink = io.StringIO()
+    obs_log.configure(mode=mode, level=level, stream=sink)
+    return sink
+
+
+def _lines(sink):
+    return [line for line in sink.getvalue().splitlines() if line]
+
+
+class TestJsonSchema:
+    def test_one_json_object_per_line(self):
+        sink = _capture()
+        logger = obs_log.get_logger("test.schema")
+        logger.info("first", value=1)
+        logger.info("second", value=2)
+        records = [json.loads(line) for line in _lines(sink)]
+        assert [r["event"] for r in records] == ["first", "second"]
+
+    def test_schema_fields(self):
+        sink = _capture()
+        obs_log.get_logger("test.schema").info("evt", loss=0.5, epoch=3)
+        (record,) = [json.loads(line) for line in _lines(sink)]
+        assert record["level"] == "info"
+        assert record["logger"] == "test.schema"
+        assert record["event"] == "evt"
+        assert record["loss"] == 0.5
+        assert record["epoch"] == 3
+        assert isinstance(record["ts"], float)
+
+    def test_non_json_values_stringified(self):
+        sink = _capture()
+        obs_log.get_logger("test.schema").info("evt", value=np.float64(0.25))
+        (record,) = [json.loads(line) for line in _lines(sink)]
+        # numpy scalars survive via default=str; the line stays valid JSON.
+        assert float(record["value"]) == 0.25
+
+
+class TestBoundContext:
+    def test_bind_carries_fields(self):
+        sink = _capture()
+        logger = obs_log.get_logger("test.bind").bind(run="r1", seed=7)
+        logger.info("evt", extra=True)
+        (record,) = [json.loads(line) for line in _lines(sink)]
+        assert record["run"] == "r1"
+        assert record["seed"] == 7
+        assert record["extra"] is True
+
+    def test_bind_does_not_mutate_parent(self):
+        parent = obs_log.get_logger("test.bind.parent")
+        child = parent.bind(shard=3)
+        assert parent.context == {}
+        assert child.context == {"shard": 3}
+
+    def test_call_fields_override_context(self):
+        sink = _capture()
+        obs_log.get_logger("t").bind(value=1).info("evt", value=2)
+        (record,) = [json.loads(line) for line in _lines(sink)]
+        assert record["value"] == 2
+
+    def test_get_logger_cached(self):
+        assert obs_log.get_logger("same") is obs_log.get_logger("same")
+
+
+class TestLevels:
+    def test_threshold_filters(self):
+        sink = _capture(level="warning")
+        logger = obs_log.get_logger("test.levels")
+        logger.debug("dropped")
+        logger.info("dropped")
+        logger.warning("kept")
+        logger.error("kept")
+        events = [json.loads(line)["event"] for line in _lines(sink)]
+        assert events == ["kept", "kept"]
+
+    def test_enabled_reflects_configuration(self):
+        _capture(level="info")
+        assert not obs_log.enabled("debug")
+        assert obs_log.enabled("info")
+        obs_log.configure(mode="off")
+        assert not obs_log.enabled("error")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ReproError):
+            obs_log.configure(level="verbose")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError):
+            obs_log.configure(mode="syslog")
+
+
+class TestOffMode:
+    def test_off_emits_nothing(self):
+        sink = _capture()
+        obs_log.configure(mode="off")
+        obs_log.get_logger("test.off").error("never")
+        assert sink.getvalue() == ""
+
+
+class TestTextMode:
+    def test_text_render(self):
+        sink = _capture(mode="text")
+        obs_log.get_logger("repro.nn").info(
+            "train.epoch", epoch=1, loss=0.693147
+        )
+        (line,) = _lines(sink)
+        assert line.startswith("[repro.nn] train.epoch")
+        assert "epoch=1" in line
+        assert "loss=0.6931" in line  # floats shortened for reading
+
+
+class TestFileSink:
+    def test_file_sink_is_json_lines(self, tmp_path):
+        target = tmp_path / "events.jsonl"
+        sink = io.StringIO()
+        obs_log.configure(
+            mode="text", level="debug", stream=sink, file=str(target)
+        )
+        obs_log.get_logger("test.file").info("evt", value=9)
+        records = [
+            json.loads(line)
+            for line in target.read_text().splitlines()
+            if line
+        ]
+        assert records[0]["event"] == "evt"
+        assert records[0]["value"] == 9
+        # The console stream still got the text rendering.
+        assert "[test.file] evt" in sink.getvalue()
+
+    def test_file_sink_appends(self, tmp_path):
+        target = tmp_path / "events.jsonl"
+        obs_log.configure(
+            mode="json", level="debug", stream=io.StringIO(), file=str(target)
+        )
+        logger = obs_log.get_logger("test.file")
+        logger.info("a")
+        obs_log.configure(file=str(target))  # reopen
+        logger.info("b")
+        events = [
+            json.loads(line)["event"]
+            for line in target.read_text().splitlines()
+            if line
+        ]
+        assert events == ["a", "b"]
+
+
+class TestConfigureFromEnv:
+    def test_env_roundtrip(self, monkeypatch):
+        monkeypatch.setenv(obs_log.MODE_ENV_VAR, "json")
+        monkeypatch.setenv(obs_log.LEVEL_ENV_VAR, "warning")
+        monkeypatch.delenv(obs_log.FILE_ENV_VAR, raising=False)
+        obs_log.configure_from_env()
+        assert obs_log._mode == "json"
+        assert not obs_log.enabled("info")
+
+    def test_bad_env_mode_raises(self, monkeypatch):
+        monkeypatch.setenv(obs_log.MODE_ENV_VAR, "nope")
+        with pytest.raises(ReproError):
+            obs_log.configure_from_env()
+
+
+class TestFitRouting:
+    def _data(self):
+        rng = np.random.default_rng(0)
+        x = (rng.random((64, 16)) > 0.5).astype(np.float64)
+        y = rng.integers(0, 2, 64)
+        return x, y
+
+    def _model(self):
+        from repro.nn import Adam, CategoricalCrossentropy, Dense, ReLU, Sequential
+
+        model = Sequential([Dense(8), ReLU(), Dense(2)])
+        model.build((16,), rng=0)
+        model.compile(loss=CategoricalCrossentropy(), optimizer=Adam())
+        return model
+
+    def test_verbose_fit_emits_info_epoch_events(self):
+        sink = _capture(mode="json", level="info")
+        x, y = self._data()
+        self._model().fit(x, y, epochs=3, batch_size=32, rng=1, verbose=True)
+        records = [json.loads(line) for line in _lines(sink)]
+        epochs = [r for r in records if r["event"] == "train.epoch"]
+        assert len(epochs) == 3
+        assert epochs[0]["logger"] == "repro.nn"
+        assert epochs[0]["epoch"] == 1 and epochs[0]["epochs"] == 3
+        assert {"loss", "accuracy", "time"} <= set(epochs[0])
+
+    def test_quiet_fit_is_silent_at_info(self):
+        sink = _capture(mode="json", level="info")
+        x, y = self._data()
+        self._model().fit(x, y, epochs=2, batch_size=32, rng=1, verbose=False)
+        assert _lines(sink) == []
+
+    def test_quiet_fit_visible_at_debug(self):
+        sink = _capture(mode="json", level="debug")
+        x, y = self._data()
+        self._model().fit(x, y, epochs=2, batch_size=32, rng=1, verbose=False)
+        events = [json.loads(line)["event"] for line in _lines(sink)]
+        assert events.count("train.epoch") == 2

@@ -1,0 +1,217 @@
+"""Tests for repro.obs.metrics: counters, gauges, histograms, registry.
+
+The contract under test: series are keyed by name + label set (same
+handle back every time), histogram quantiles match a numpy reference on
+the retained window, the registry snapshot is JSON-able, and the
+Prometheus rendering follows text exposition 0.0.4 (cumulative buckets,
+``+Inf``, ``_sum``/``_count``, escaped label values).
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ReproError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.inc(3)
+        gauge.dec(6)
+        assert gauge.value == 2.0
+
+    def test_tracks_running_max(self):
+        gauge = Gauge("g")
+        gauge.set(7)
+        gauge.set(2)
+        assert gauge.value == 2.0
+        assert gauge.max == 7.0
+
+
+class TestHistogram:
+    def test_count_and_sum(self):
+        histogram = Histogram("h")
+        for value in (0.1, 0.2, 0.3):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.6)
+
+    def test_quantiles_match_numpy_reference(self):
+        rng = np.random.default_rng(5)
+        values = rng.exponential(0.01, 500)
+        histogram = Histogram("h")
+        for value in values:
+            histogram.observe(value)
+        ordered = np.sort(values)
+        for q in (50.0, 95.0, 99.0):
+            rank = max(1, int(np.ceil(q / 100.0 * len(ordered))))
+            assert histogram.quantile(q) == pytest.approx(ordered[rank - 1])
+
+    def test_window_is_bounded_and_recent(self):
+        histogram = Histogram("h", window=4)
+        for value in range(10):
+            histogram.observe(float(value))
+        assert histogram.window_values() == [6.0, 7.0, 8.0, 9.0]
+        assert histogram.count == 10  # cumulative stats keep everything
+
+    def test_bucket_counts_use_le_semantics(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        counts = histogram.bucket_counts()
+        assert counts == {1.0: 2, 2.0: 1, 4.0: 1}  # 100.0 only in +Inf
+
+    def test_summary_shape(self):
+        histogram = Histogram("h")
+        assert histogram.summary() is None
+        histogram.observe(0.25)
+        summary = histogram.summary()
+        assert summary["count"] == 1
+        assert summary["p99"] == 0.25
+        assert summary["max"] == 0.25
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ReproError):
+            Histogram("h", window=0)
+        with pytest.raises(ReproError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+    def test_quantile_rejects_bad_inputs(self):
+        with pytest.raises(ReproError):
+            quantile([], 50.0)
+        with pytest.raises(ReproError):
+            quantile([1.0], 150.0)
+
+
+class TestRegistry:
+    def test_same_series_handle_back(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests_total", route="/x")
+        b = registry.counter("requests_total", route="/x")
+        assert a is b
+
+    def test_label_sets_are_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests_total", route="/x")
+        b = registry.counter("requests_total", route="/y")
+        a.inc(3)
+        assert b.value == 0.0
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("t", x="1", y="2")
+        b = registry.counter("t", y="2", x="1")
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("mixed")
+        with pytest.raises(ReproError):
+            registry.gauge("mixed")
+
+    def test_snapshot_is_json_able(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc(2)
+        registry.gauge("b").set(1.5)
+        registry.histogram("c_seconds").observe(0.01)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert snapshot["a_total"][0]["value"] == 2
+        assert snapshot["b"][0]["max"] == 1.5
+        assert snapshot["c_seconds"][0]["count"] == 1
+        assert snapshot["c_seconds"][0]["window"]["p50"] == 0.01
+
+    def test_thread_safety_no_lost_updates(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", window=100_000)
+
+        def work():
+            counter = registry.counter("n_total")  # same series each time
+            for i in range(2_000):
+                counter.inc()
+                histogram.observe(float(i))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("n_total").value == 8 * 2_000
+        assert histogram.count == 8 * 2_000
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", route="/v1/x", method="GET").inc(3)
+        registry.gauge("depth").set(2)
+        text = registry.to_prometheus()
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{method="GET",route="/v1/x"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 2" in text.splitlines()
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        lines = registry.to_prometheus().splitlines()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in lines
+        assert 'lat_seconds_bucket{le="1"} 3' in lines
+        assert 'lat_seconds_bucket{le="+Inf"} 4' in lines
+        assert "lat_seconds_count 4" in lines
+        assert any(line.startswith("lat_seconds_sum ") for line in lines)
+
+    def test_type_line_emitted_once_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("multi_total", route="/a").inc()
+        registry.counter("multi_total", route="/b").inc()
+        text = registry.to_prometheus()
+        assert text.count("# TYPE multi_total counter") == 1
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("esc_total", path='say "hi"\n').inc()
+        text = registry.to_prometheus()
+        assert r'path="say \"hi\"\n"' in text
+
+    def test_invalid_metric_name_sanitised(self):
+        registry = MetricsRegistry()
+        registry.counter("weird-name.total").inc()
+        assert "weird_name_total 1" in registry.to_prometheus().splitlines()
+
+
+class TestDefaults:
+    def test_default_buckets_strictly_increase(self):
+        assert all(
+            b2 > b1 for b1, b2 in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:])
+        )
+
+    def test_process_registry_exists(self):
+        from repro.obs.metrics import REGISTRY
+
+        assert isinstance(REGISTRY, MetricsRegistry)

@@ -102,6 +102,76 @@ class TestEndpoints:
         assert snapshot["batches"]["count"] >= 1
 
 
+class TestPrometheusEndpoint:
+    @staticmethod
+    def _fetch_text(client, path):
+        import urllib.request
+
+        with urllib.request.urlopen(
+            f"{client.base_url}{path}", timeout=10.0
+        ) as response:
+            return response.headers.get("Content-Type"), response.read().decode()
+
+    def test_prometheus_exposition(self, served, rng_factory):
+        client, _, _ = served
+        client.classify("unit", rng_factory(1).random((2, 6)).tolist())
+        content_type, text = self._fetch_text(
+            client, "/v1/metrics?format=prometheus"
+        )
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        lines = text.splitlines()
+        assert "# TYPE repro_serve_requests_total counter" in lines
+        assert any(
+            line.startswith("repro_serve_batch_latency_seconds_bucket")
+            for line in lines
+        )
+        # A sample value line, parseable as "name value".
+        (value_line,) = [
+            line for line in lines if line.startswith("repro_serve_requests_total ")
+        ]
+        assert float(value_line.split()[-1]) >= 1.0
+
+    def test_per_route_http_series_recorded(self, served, rng_factory):
+        client, _, _ = served
+        client.classify("unit", rng_factory(1).random((2, 6)).tolist())
+        client.healthz()
+        _, text = self._fetch_text(client, "/v1/metrics?format=prometheus")
+        assert (
+            'repro_http_requests_total{method="POST",'
+            'route="/v1/classify",status="200"} 1'
+        ) in text.splitlines()
+        assert any(
+            'route="/healthz"' in line and "repro_http_requests_total" in line
+            for line in text.splitlines()
+        )
+        assert any(
+            line.startswith("repro_http_request_duration_seconds_bucket")
+            and 'route="/v1/classify"' in line
+            for line in text.splitlines()
+        )
+
+    def test_unknown_route_collapses_to_other_label(self, served):
+        client, _, _ = served
+        with pytest.raises(ServeClientError):
+            client._request("GET", "/v1/nope")
+        _, text = self._fetch_text(client, "/v1/metrics?format=prometheus")
+        assert (
+            'repro_http_requests_total{method="GET",route="other",status="404"} 1'
+        ) in text.splitlines()
+
+    def test_unknown_format_400(self, served):
+        client, _, _ = served
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("GET", "/v1/metrics?format=xml")
+        assert excinfo.value.status == 400
+
+    def test_json_format_matches_snapshot_route(self, served):
+        client, _, _ = served
+        explicit = client._request("GET", "/v1/metrics?format=json")
+        assert set(explicit) == {"uptime_s", "requests", "batches", "queue"}
+
+
 class TestDistinguishEndpoint:
     def test_session_lifecycle(self, served, rng_factory):
         client, model, _ = served
