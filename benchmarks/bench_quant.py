@@ -1,0 +1,221 @@
+"""Quantized-inference latency harness: writes ``BENCH_quant.json``.
+
+Times ``predict_proba`` for the float32 parent and its float16 / int8
+variants across the paper's Table 3 model families (MLP III, CNN II,
+LSTM II) at single-row and batched shapes, plus the serving path
+(:class:`MicroBatchEngine.classify`) at typical coalesced batch sizes.
+Entries follow the shared ``BENCH_<suite>.json`` schema (``name`` /
+``mean_s`` / ``stddev_s`` / ``rounds``) with quantization extras
+(``scheme``, ``rows``, and ``speedup_vs_f32`` on the non-float32
+entries), so ``check_regression.py`` gates on the means exactly as it
+does for the other suites.
+
+The committed full-mode artefact is also the acceptance record for the
+int8 path: ``predict_mlp_iii_int8_*`` must run at least twice as fast
+as the matching ``predict_mlp_iii_f32_*`` at both shapes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_quant.py [--quick] [--output-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+BENCH_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+
+from repro.nn import quantize_model  # noqa: E402
+from repro.nn.architectures import cnn_ii, lstm_ii, mlp_iii  # noqa: E402
+from repro.nn.backend import qkernel  # noqa: E402
+from repro.serve import MicroBatchEngine  # noqa: E402
+
+INPUT_BITS = 128
+
+#: name -> Table 3 factory.  MLP III is the paper's best distinguisher
+#: (two 1024-wide GEMMs — the int8 showcase); CNN II's 3072-column
+#: im2col matmul quantizes too; LSTM II is weight-only under int8, so
+#: its entries pin the "storage shrinks, latency stays" behaviour.
+MODELS = {
+    "mlp_iii": mlp_iii,
+    "cnn_ii": cnn_ii,
+    "lstm_ii": lstm_ii,
+}
+
+SCHEMES = ("f32", "f16", "int8")
+
+
+def _bits(rng, rows):
+    return (rng.random((rows, INPUT_BITS)) < 0.5).astype(np.float32)
+
+
+def _variants(name):
+    model = MODELS[name]().build((INPUT_BITS,), np.random.default_rng(7))
+    model.compile(dtype="float32")
+    return {
+        "f32": model,
+        "f16": quantize_model(model, "float16"),
+        "int8": quantize_model(model, "int8"),
+    }
+
+
+#: Interleaved measurement passes per (model, rows) cell.
+PASSES = 4
+
+
+def _time_group(fns, rounds, warmup):
+    """Block-interleaved latencies per label, trimmed to the fastest half.
+
+    ``fns`` maps label -> thunk.  Each label runs its rounds in
+    consecutive *blocks* (a serving process runs one variant repeatedly,
+    so warm-cache consecutive calls are the deployment-realistic shape —
+    fine-grained interleaving would evict the small int8 weight stream
+    that is the whole point of the scheme), but the blocks of all labels
+    are interleaved across :data:`PASSES` passes so a slow patch on this
+    shared box lands on every label instead of biasing whichever scheme
+    happened to run through it.  The slowest half of each label's rounds
+    is dropped: the tail measures the neighbours, not the code.
+    """
+    per_block = max(1, rounds // PASSES)
+    samples = {label: [] for label in fns}
+    for pass_index in range(PASSES):
+        for label, fn in fns.items():
+            for _ in range(warmup if pass_index == 0 else 1):
+                fn()
+            for _ in range(per_block):
+                start = time.perf_counter()
+                fn()
+                samples[label].append(time.perf_counter() - start)
+    for label in samples:
+        samples[label].sort()
+        samples[label] = samples[label][: max(1, len(samples[label]) // 2)]
+    return samples
+
+
+def _entry(name, samples, **extras):
+    entry = {
+        "name": name,
+        "mean_s": statistics.fmean(samples),
+        "stddev_s": statistics.pstdev(samples),
+        "rounds": len(samples),
+    }
+    entry.update(extras)
+    return entry
+
+
+def run(quick: bool) -> dict:
+    rng = np.random.default_rng(0xBE9C)
+    # Quick mode cuts rounds, never shapes: entry names must match the
+    # committed full-mode baseline so check_regression compares them.
+    single_rounds = 8 if quick else 60
+    batch_rounds = 4 if quick else 14
+    warmup = 1 if quick else 3
+    batch_rows = 512
+    serve_rows = (32, 256)
+
+    entries = []
+    for model_name in MODELS:
+        variants = _variants(model_name)
+        for rows, rounds in ((1, single_rounds), (batch_rows, batch_rounds)):
+            x = _bits(rng, rows)
+            fns = {
+                scheme: (
+                    lambda model=variants[scheme]: model.predict_proba(
+                        x, batch_size=rows
+                    )
+                )
+                for scheme in SCHEMES
+            }
+            samples = _time_group(fns, rounds, warmup)
+            f32_mean = statistics.fmean(samples["f32"])
+            for scheme in SCHEMES:
+                extras = {"scheme": scheme, "rows": rows}
+                if scheme != "f32":
+                    extras["speedup_vs_f32"] = f32_mean / statistics.fmean(
+                        samples[scheme]
+                    )
+                entries.append(
+                    _entry(
+                        f"predict_{model_name}_{scheme}_rows{rows}",
+                        samples[scheme],
+                        **extras,
+                    )
+                )
+
+    # The serving path: engine submit -> coalesce -> fused predict, the
+    # latency a /v1/classify caller actually sees (minus HTTP framing).
+    serve_variants = _variants("mlp_iii")
+    for rows in serve_rows:
+        x = _bits(rng, rows)
+        engines = {
+            scheme: MicroBatchEngine(
+                serve_variants[scheme], max_batch=max(rows, 1), max_wait_ms=0.1
+            )
+            for scheme in ("f32", "int8")
+        }
+        try:
+            fns = {
+                scheme: (lambda engine=engine: engine.classify(x))
+                for scheme, engine in engines.items()
+            }
+            samples = _time_group(fns, max(2, batch_rounds), warmup)
+        finally:
+            for engine in engines.values():
+                engine.stop()
+        f32_mean = statistics.fmean(samples["f32"])
+        for scheme in ("f32", "int8"):
+            extras = {"scheme": scheme, "rows": rows}
+            if scheme != "f32":
+                extras["speedup_vs_f32"] = f32_mean / statistics.fmean(
+                    samples[scheme]
+                )
+            entries.append(
+                _entry(
+                    f"serve_mlp_iii_{scheme}_rows{rows}",
+                    samples[scheme],
+                    **extras,
+                )
+            )
+
+    return {
+        "suite": "quant",
+        "quick": bool(quick),
+        "quant_kernel": qkernel.available(),
+        "benchmarks": entries,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="few-round smoke timings"
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=BENCH_DIR,
+        help="where to write BENCH_quant.json (default: benchmarks/)",
+    )
+    args = parser.parse_args(argv)
+    report = run(args.quick)
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    out_path = args.output_dir / "BENCH_quant.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    for entry in report["benchmarks"]:
+        speedup = entry.get("speedup_vs_f32")
+        note = f"  ({speedup:.2f}x vs f32)" if speedup else ""
+        print(f"{entry['name']}: {entry['mean_s'] * 1e3:.3f} ms{note}")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,10 +13,17 @@ check: adding a benchmark must not require regenerating every baseline
 in the same commit, and renames surface visibly instead of silently
 passing.
 
+Every compared benchmark is reported with its percentage delta against
+the baseline (``(fresh / baseline - 1) * 100``), so a PR's perf impact
+is readable per metric even when nothing trips the gate.  After an
+intentional perf change, ``--update-baselines`` re-measures and
+rewrites the committed artefacts in place instead of gating.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py          # make bench-check
     PYTHONPATH=src python benchmarks/check_regression.py --quick  # noisy smoke mode
+    PYTHONPATH=src python benchmarks/check_regression.py --update-baselines
 """
 
 from __future__ import annotations
@@ -68,6 +75,7 @@ def compare_reports(
                 "baseline_s": base[name],
                 "fresh_s": new[name],
                 "ratio": ratio,
+                "delta_pct": (ratio - 1.0) * 100.0,
                 "regressed": ratio > threshold,
             }
         )
@@ -75,19 +83,39 @@ def compare_reports(
     return rows, unmatched
 
 
-def check_suite(suite: str, quick: bool, threshold: float) -> bool:
-    """Run one suite and compare it against its committed baseline."""
+def check_suite(
+    suite: str, quick: bool, threshold: float, update: bool = False
+) -> bool:
+    """Run one suite and compare it against its committed baseline.
+
+    With ``update`` the fresh measurements *replace* the committed
+    baseline after the comparison is printed (the comparison itself
+    never fails the check in that mode: the new numbers are the point).
+    """
     committed_path = BENCH_DIR / f"BENCH_{suite}.json"
-    if not committed_path.exists():
-        print(f"[{suite}] no committed baseline at {committed_path.name}; skipping")
-        return True
-    baseline = json.loads(committed_path.read_text())
     with tempfile.TemporaryDirectory() as tmp:
+        if not committed_path.exists():
+            if not update:
+                print(
+                    f"[{suite}] no committed baseline at "
+                    f"{committed_path.name}; skipping"
+                )
+                return True
+            fresh_path = run_benchmarks.run_suite(
+                suite, run_benchmarks.ALL_SUITES[suite], quick, Path(tmp)
+            )
+            run_benchmarks.validate_bench_file(fresh_path)
+            committed_path.write_text(fresh_path.read_text())
+            print(f"[{suite}] wrote new baseline {committed_path.name}")
+            return True
+        baseline = json.loads(committed_path.read_text())
         fresh_path = run_benchmarks.run_suite(
             suite, run_benchmarks.ALL_SUITES[suite], quick, Path(tmp)
         )
         run_benchmarks.validate_bench_file(fresh_path)
         fresh = json.loads(fresh_path.read_text())
+        if update:
+            committed_path.write_text(fresh_path.read_text())
     if baseline.get("quick"):
         print(
             f"[{suite}] warning: committed baseline was recorded in --quick "
@@ -100,11 +128,14 @@ def check_suite(suite: str, quick: bool, threshold: float) -> bool:
         print(
             f"[{suite}] {row['name']}: baseline {row['baseline_s'] * 1e3:.2f} ms, "
             f"fresh {row['fresh_s'] * 1e3:.2f} ms "
-            f"({row['ratio']:.2f}x) {flag}"
+            f"({row['delta_pct']:+.1f}%) {flag}"
         )
         ok = ok and not row["regressed"]
     for name in unmatched:
         print(f"[{suite}] {name}: present in only one report (not compared)")
+    if update:
+        print(f"[{suite}] baseline {committed_path.name} updated")
+        return True
     if not rows:
         print(f"[{suite}] error: no benchmark names in common with the baseline")
         return False
@@ -132,17 +163,28 @@ def main(argv=None) -> int:
         action="append",
         help="check only this suite (repeatable; default: all)",
     )
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="replace the committed BENCH_<suite>.json files with the "
+        "fresh measurements instead of gating on them",
+    )
     args = parser.parse_args(argv)
     suites = args.suite or sorted(run_benchmarks.ALL_SUITES)
     failed = [
         suite
         for suite in suites
-        if not check_suite(suite, args.quick, args.threshold)
+        if not check_suite(
+            suite, args.quick, args.threshold, update=args.update_baselines
+        )
     ]
     if failed:
         print(f"regressions detected in: {', '.join(failed)}")
         return 1
-    print("no benchmark regressions")
+    if args.update_baselines:
+        print("baselines updated")
+    else:
+        print("no benchmark regressions")
     return 0
 
 

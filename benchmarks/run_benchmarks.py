@@ -48,6 +48,7 @@ SUITES = {
 SCRIPT_SUITES = {
     "serve": BENCH_DIR / "bench_serve.py",
     "obs": BENCH_DIR / "bench_obs.py",
+    "quant": BENCH_DIR / "bench_quant.py",
 }
 
 ALL_SUITES = {**SUITES, **SCRIPT_SUITES}

@@ -52,6 +52,26 @@ def _repro_env() -> Dict[str, str]:
     }
 
 
+def _compute_manifest() -> Dict:
+    """The resolved compute substrate: backend, BLAS control, kernels.
+
+    ``env`` above records what was *requested*; this records what the
+    process actually *resolved* — which backend ``REPRO_BACKEND`` named,
+    whether the BLAS thread-count symbols were found, and whether the
+    compiled int8 kernel passed its load-time self-test — so two
+    manifests can be compared for compute-substrate drift, not just
+    knob drift.
+    """
+    from repro.nn.backend import blas, get_backend, qkernel
+
+    return {
+        "backend": type(get_backend()).__name__,
+        "blas_threads_controllable": blas.controllable(),
+        "quant_mode": qkernel.quant_mode(),
+        "quant_kernel_available": qkernel.available(),
+    }
+
+
 def run_with_manifest(name: str, run_dir, **kwargs) -> Tuple[Dict, Path]:
     """Run experiment ``name`` and write result + manifest into ``run_dir``.
 
@@ -87,6 +107,7 @@ def run_with_manifest(name: str, run_dir, **kwargs) -> Tuple[Dict, Path]:
         "duration_s": duration,
         "args": _scalar_args(kwargs),
         "env": _repro_env(),
+        "compute": _compute_manifest(),
         "platform": {
             "python": platform.python_version(),
             "machine": platform.machine(),

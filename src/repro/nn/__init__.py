@@ -39,6 +39,7 @@ from repro.nn.losses import (
 )
 from repro.nn.model import Sequential, load_model
 from repro.nn.optimizers import SGD, Adam
+from repro.nn.quant import QuantizedSequential, quantize_model
 from repro.nn.recurrent import LSTM
 
 __all__ = [
@@ -56,6 +57,7 @@ __all__ = [
     "LeakyReLU",
     "MaxPool1D",
     "MeanSquaredError",
+    "QuantizedSequential",
     "ReLU",
     "Reshape",
     "SGD",
@@ -67,5 +69,6 @@ __all__ = [
     "he_uniform",
     "load_model",
     "normal_init",
+    "quantize_model",
     "zeros_init",
 ]

@@ -1,0 +1,120 @@
+"""The reference numpy backend.
+
+Each op is the exact expression the corresponding layer or loss used
+before the backend seam existed — same ufuncs, same operand order, same
+``out=`` targets — so a model computed through ``NumpyBackend`` is
+bit-identical to the pre-refactor stack (``tests/test_nn_backend.py``
+pins forward, backward and whole ``fit`` runs in float32 and float64).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Imported mid-initialization of the package module: Backend and blas
+# are already bound by the time this module loads (see __init__.py).
+from repro.nn.backend import Backend, blas
+
+
+class NumpyBackend(Backend):
+    """Reference ops: plain numpy, sequential, BLAS-backed matmuls."""
+
+    name = "numpy"
+
+    # -- linear algebra ----------------------------------------------------
+
+    def matmul(self, a, b, out=None):
+        if out is None:
+            return a @ b
+        return np.matmul(a, b, out=out)
+
+    def affine(self, x, w, b=None, out=None):
+        if out is None:
+            out = x @ w
+        else:
+            np.matmul(x, w, out=out)
+        if b is not None:
+            out += b
+        return out
+
+    def colsum(self, a, out=None):
+        if out is None:
+            return a.sum(axis=0)
+        return a.sum(axis=0, out=out)
+
+    # -- elementwise activations -------------------------------------------
+
+    def relu(self, x, mask_out):
+        np.greater(x, 0, out=mask_out)
+        return x * mask_out
+
+    def relu_backward(self, grad, mask):
+        return grad * mask
+
+    def leaky_relu(self, x, alpha):
+        mask = x > 0
+        return np.where(mask, x, alpha * x), mask
+
+    def leaky_relu_backward(self, grad, mask, alpha):
+        return np.where(mask, grad, alpha * grad)
+
+    def sigmoid(self, x):
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+
+    def sigmoid_into(self, x, out):
+        # Bit-identical to :meth:`sigmoid`: the clip bounds keep the
+        # exponent finite, so the in-place chain rounds the same way.
+        np.clip(x, -500, 500, out=out)
+        np.negative(out, out=out)
+        np.exp(out, out=out)
+        out += 1.0
+        np.reciprocal(out, out=out)
+        return out
+
+    def sigmoid_backward(self, grad, out):
+        return grad * out * (1.0 - out)
+
+    def tanh(self, x, out=None):
+        if out is None:
+            return np.tanh(x)
+        return np.tanh(x, out=out)
+
+    def tanh_backward(self, grad, out):
+        return grad * (1.0 - out**2)
+
+    def softmax(self, x):
+        shifted = x - x.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+    def softmax_backward(self, grad, out):
+        inner = (grad * out).sum(axis=-1, keepdims=True)
+        return out * (grad - inner)
+
+    # -- scalar ufunc helpers (losses) -------------------------------------
+
+    def clip(self, x, lo, hi):
+        return np.clip(x, lo, hi)
+
+    def log(self, x):
+        return np.log(x)
+
+    def exp(self, x):
+        return np.exp(x)
+
+    # -- fused sequence kernels --------------------------------------------
+
+    def lstm_gates(self, z, gates_t, units):
+        # Strided column reads, contiguous gate-major writes — the
+        # layout and op order of the time-major LSTM kernel.
+        u = units
+        self.sigmoid_into(z[:, :u], gates_t[0])
+        self.sigmoid_into(z[:, u:2 * u], gates_t[1])
+        np.tanh(z[:, 2 * u:3 * u], out=gates_t[2])
+        self.sigmoid_into(z[:, 3 * u:], gates_t[3])
+        return gates_t
+
+    # -- BLAS thread domains -----------------------------------------------
+
+    def thread_domain(self, domain: str):
+        return blas.thread_domain(domain)

@@ -16,6 +16,11 @@ tests).  Compute precision is a per-layer ``dtype`` policy (default
 float64 for exact-gradient tests; float32 opt-in via
 ``Sequential.compile(..., dtype="float32")`` roughly halves both memory
 traffic and matmul wall-clock on the training hot path).
+
+Every hot kernel (matmuls, activations) is executed through the layer's
+``backend`` (:mod:`repro.nn.backend`), defaulting to the reference
+``NumpyBackend`` whose ops are the exact pre-refactor expressions —
+``tests/test_nn_backend.py`` pins the routing bit-identical.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import LayerError
+from repro.nn.backend import Backend, get_backend
 from repro.nn.initializers import get_initializer
 
 
@@ -72,6 +78,11 @@ class Layer:
         self.built = False
         self.trainable = True
         self.dtype: np.dtype = np.dtype(np.float64)
+        self.backend: Backend = get_backend()
+
+    def set_backend(self, backend) -> None:
+        """Route this layer's compute through ``backend`` (name or instance)."""
+        self.backend = get_backend(backend)
 
     def set_dtype(self, dtype) -> None:
         """Switch the compute dtype, casting any existing parameters."""
@@ -146,22 +157,21 @@ class Dense(Layer):
 
     def forward(self, x, training=False):
         self._x = x if training else None
-        out = x @ self.params[0]
-        if self.use_bias:
-            out += self.params[1]
-        return out
+        return self.backend.affine(
+            x, self.params[0], self.params[1] if self.use_bias else None
+        )
 
     def backward(self, grad):
         if self._x is None:
             raise LayerError("backward called without a training forward pass")
         # Write straight into the persistent gradient buffers instead of
         # allocating fresh arrays every step.
-        np.matmul(self._x.T, grad, out=self.grads[0])
+        self.backend.matmul(self._x.T, grad, out=self.grads[0])
         if self.use_bias:
-            grad.sum(axis=0, out=self.grads[1])
+            self.backend.colsum(grad, out=self.grads[1])
         if self.skip_input_grad:
             return None
-        return grad @ self.params[0].T
+        return self.backend.matmul(grad, self.params[0].T)
 
     def output_shape(self, input_shape):
         return (self.units,)
@@ -184,14 +194,14 @@ class ReLU(Layer):
 
     def forward(self, x, training=False):
         mask = scratch_buffer(self._scratch, "mask", x.shape, np.bool_)
-        np.greater(x, 0, out=mask)
+        out = self.backend.relu(x, mask)
         self._mask = mask if training else None
-        return x * mask
+        return out
 
     def backward(self, grad):
         if self._mask is None:
             raise LayerError("backward called without a training forward pass")
-        return grad * self._mask
+        return self.backend.relu_backward(grad, self._mask)
 
 
 class LeakyReLU(Layer):
@@ -205,14 +215,14 @@ class LeakyReLU(Layer):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x, training=False):
-        mask = x > 0
+        out, mask = self.backend.leaky_relu(x, self.alpha)
         self._mask = mask if training else None
-        return np.where(mask, x, self.alpha * x)
+        return out
 
     def backward(self, grad):
         if self._mask is None:
             raise LayerError("backward called without a training forward pass")
-        return np.where(self._mask, grad, self.alpha * grad)
+        return self.backend.leaky_relu_backward(grad, self._mask, self.alpha)
 
     def get_config(self):
         return {"alpha": self.alpha}
@@ -226,14 +236,14 @@ class Sigmoid(Layer):
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x, training=False):
-        out = 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+        out = self.backend.sigmoid(x)
         self._out = out if training else None
         return out
 
     def backward(self, grad):
         if self._out is None:
             raise LayerError("backward called without a training forward pass")
-        return grad * self._out * (1.0 - self._out)
+        return self.backend.sigmoid_backward(grad, self._out)
 
 
 class Tanh(Layer):
@@ -244,14 +254,14 @@ class Tanh(Layer):
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x, training=False):
-        out = np.tanh(x)
+        out = self.backend.tanh(x)
         self._out = out if training else None
         return out
 
     def backward(self, grad):
         if self._out is None:
             raise LayerError("backward called without a training forward pass")
-        return grad * (1.0 - self._out**2)
+        return self.backend.tanh_backward(grad, self._out)
 
 
 class Softmax(Layer):
@@ -262,18 +272,14 @@ class Softmax(Layer):
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x, training=False):
-        shifted = x - x.max(axis=-1, keepdims=True)
-        exp = np.exp(shifted)
-        out = exp / exp.sum(axis=-1, keepdims=True)
+        out = self.backend.softmax(x)
         self._out = out if training else None
         return out
 
     def backward(self, grad):
         if self._out is None:
             raise LayerError("backward called without a training forward pass")
-        p = self._out
-        inner = (grad * p).sum(axis=-1, keepdims=True)
-        return p * (grad - inner)
+        return self.backend.softmax_backward(grad, self._out)
 
 
 class Dropout(Layer):

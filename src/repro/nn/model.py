@@ -43,6 +43,7 @@ from repro.obs.trace import span
 from repro.nn import conv as conv_mod
 from repro.nn import layers as layers_mod
 from repro.nn import recurrent as recurrent_mod
+from repro.nn.backend import Backend, get_backend
 from repro.nn.callbacks import Callback, History
 from repro.nn.layers import Layer, Softmax
 from repro.nn.losses import (
@@ -87,6 +88,7 @@ class Sequential:
         self.optimizer: Optional[Optimizer] = None
         self.metric_names: List[str] = []
         self.dtype: np.dtype = np.dtype(np.float64)
+        self.backend: Backend = get_backend()
         self._output_units: Optional[int] = None
         # Set when the model came from a saved file that carried no
         # compile metadata, so misuse errors can say *why* it is not
@@ -115,6 +117,7 @@ class Sequential:
         self.input_shape = shape
         for layer in self.layers:
             layer.set_dtype(self.dtype)
+            layer.set_backend(self.backend)
             if not layer.built:
                 layer.build(shape, generator)
             shape = layer.output_shape(shape)
@@ -136,12 +139,18 @@ class Sequential:
         optimizer="adam",
         metrics: Sequence[str] = ("accuracy",),
         dtype=None,
+        backend=None,
     ) -> "Sequential":
         """Attach loss, optimizer and metrics (Keras-style).
 
         ``dtype`` selects the compute precision (``"float32"`` or
         ``"float64"``); ``None`` keeps the current policy (float64 by
         default).  Already-built parameters are cast in place.
+
+        ``backend`` selects the compute backend — a registered name or a
+        :class:`~repro.nn.backend.Backend` instance; ``None`` resolves
+        the ``REPRO_BACKEND`` environment knob (unset -> ``"numpy"``).
+        The backend is a runtime choice, never persisted with the model.
         """
         self.loss = get_loss(loss)
         self.optimizer = get_optimizer(optimizer)
@@ -149,6 +158,7 @@ class Sequential:
         self._loaded_uncompiled = False
         if dtype is not None:
             self.set_dtype(dtype)
+        self.set_backend(backend)
         return self
 
     def _require_compiled(self, action: str, optimizer: bool = True) -> None:
@@ -157,6 +167,20 @@ class Sequential:
             return
         what = "loaded model" if self._loaded_uncompiled else "model"
         raise TrainingError(f"compile the {what} before {action}")
+
+    def set_backend(self, backend=None) -> "Sequential":
+        """Route the whole stack's compute through ``backend``.
+
+        Accepts a registered name or a :class:`~repro.nn.backend.Backend`
+        instance; ``None`` re-resolves the ``REPRO_BACKEND`` knob.  The
+        loss and every layer (current and future builds) follow along.
+        """
+        self.backend = get_backend(backend)
+        for layer in self.layers:
+            layer.set_backend(self.backend)
+        if self.loss is not None:
+            self.loss.set_backend(self.backend)
+        return self
 
     def set_dtype(self, dtype) -> "Sequential":
         """Switch the model's compute dtype, casting built parameters."""
@@ -351,8 +375,9 @@ class Sequential:
         if obs_profile.enabled():
             self._profiler = obs_profile.LayerProfiler()
         try:
-            with span("train.fit", epochs=epochs, batch_size=batch_size,
-                      samples=n):
+            with self.backend.thread_domain("train"), \
+                    span("train.fit", epochs=epochs, batch_size=batch_size,
+                         samples=n):
                 for epoch in range(epochs):
                     start = time.perf_counter()
                     with span("train.epoch", epoch=epoch):

@@ -37,6 +37,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import EngineOverloaded, ServeError, ServeTimeout
+from repro.nn.backend import blas
 from repro.nn.model import Sequential
 from repro.obs.trace import span
 from repro.serve.metrics import ServeMetrics
@@ -283,8 +284,12 @@ class MicroBatchEngine:
             # One fused predict over the whole coalesced batch — the
             # per-row results are exactly those of an unbatched
             # ``predict_proba`` call on the same concatenated rows.
-            with span("serve.batch", rows=int(features.shape[0]),
-                      requests=len(live)):
+            # BLAS threads are pinned to the serve domain for the call
+            # (REPRO_BLAS_THREADS_SERVE): serving batches are small, so
+            # thread fan-out overhead usually exceeds the GEMM win.
+            with blas.thread_domain("serve"), \
+                    span("serve.batch", rows=int(features.shape[0]),
+                         requests=len(live)):
                 probabilities = self.model.predict_proba(
                     features, batch_size=max(features.shape[0], 1)
                 )

@@ -38,6 +38,7 @@ from repro.core.cache import scenario_fingerprint
 from repro.core.statistics import decision_threshold
 from repro.errors import RegistryError
 from repro.nn.model import Sequential
+from repro.nn.quant import QUANT_FORMAT_VERSION, QuantizedSequential
 
 #: Bump when the manifest layout changes incompatibly.
 MANIFEST_VERSION = 1
@@ -140,6 +141,7 @@ class ModelRecord:
         """The manifest subset listed by ``GET /v1/models``."""
         training = self.manifest.get("training") or {}
         scenario = self.manifest.get("scenario") or {}
+        quantization = self.manifest.get("quantization") or {}
         return {
             "model_id": self.model_id,
             "name": self.name,
@@ -149,6 +151,7 @@ class ModelRecord:
             "validation_accuracy": training.get("validation_accuracy"),
             "threshold": self.threshold,
             "input_shape": self.manifest.get("input_shape"),
+            "quantization": quantization.get("scheme"),
         }
 
 
@@ -270,6 +273,98 @@ class ModelRegistry:
             self._manifest_path(model_id),
         )
 
+    def register_quantized(
+        self,
+        quantized: QuantizedSequential,
+        parent_ref: str,
+        holdout=None,
+        name: Optional[str] = None,
+        extra: Optional[dict] = None,
+    ) -> ModelRecord:
+        """Persist a quantized variant next to its float parent.
+
+        ``parent_ref`` is the registered parent's id or name; the
+        variant's manifest inherits the parent's scenario, training
+        report and decision threshold (the online phase thresholds the
+        same statistic either way) and adds a ``quantization`` section
+        recording the scheme, the parent id, and — when ``holdout`` is
+        a ``(features, labels)`` pair — the held-out accuracies of both
+        models and their delta in percentage points, so the cost of the
+        quantization is pinned in the artifact itself.  ``name``
+        defaults to ``"<parent name>-<scheme>"``.  Idempotent on the
+        variant's content digest, like :meth:`register`.
+        """
+        parent_model, parent = self.load(parent_ref)
+        model_id = quantized.digest()
+        existing = self._read_manifest(model_id)
+        if existing is not None:
+            return ModelRecord(
+                model_id,
+                existing,
+                self._model_path(model_id),
+                self._manifest_path(model_id),
+            )
+        name = name or f"{parent.name}-{quantized.scheme}"
+        if "/" in name or name != name.strip():
+            raise RegistryError(f"invalid model name {name!r}")
+        quantization = {
+            "scheme": quantized.scheme,
+            "format_version": QUANT_FORMAT_VERSION,
+            "parent_id": parent.model_id,
+        }
+        if holdout is not None:
+            features, labels = holdout
+            quantized_accuracy = quantized.accuracy(features, labels)
+            labels = np.asarray(labels)
+            parent_accuracy = float(
+                (parent_model.predict_classes(features) == labels).mean()
+            )
+            quantization["holdout_accuracy"] = quantized_accuracy
+            quantization["parent_holdout_accuracy"] = parent_accuracy
+            quantization["accuracy_delta_pp"] = (
+                (quantized_accuracy - parent_accuracy) * 100.0
+            )
+        manifest: dict = {
+            "manifest_version": MANIFEST_VERSION,
+            "model_id": model_id,
+            "name": name,
+            "version": self._next_version(name),
+            "created_unix": time.time(),
+            "input_shape": list(quantized.input_shape),
+            "dtype": "float32",
+            "loss": parent.manifest.get("loss"),
+            "optimizer": parent.manifest.get("optimizer"),
+            "metrics": list(parent.manifest.get("metrics", [])),
+            "param_count": quantized.count_params(),
+            "scenario": parent.manifest.get("scenario"),
+            "training": parent.manifest.get("training"),
+            "threshold": parent.manifest.get("threshold"),
+            "quantization": quantization,
+        }
+        if extra:
+            manifest["extra"] = dict(extra)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp.npz")
+        os.close(fd)
+        try:
+            quantized.save(tmp)
+            os.replace(tmp, self._model_path(model_id))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._write_atomic(
+            self._manifest_path(model_id),
+            (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode(),
+        )
+        return ModelRecord(
+            model_id,
+            manifest,
+            self._model_path(model_id),
+            self._manifest_path(model_id),
+        )
+
     def _next_version(self, name: str) -> int:
         versions = [
             record.version for record in self.list() if record.name == name
@@ -339,10 +434,21 @@ class ModelRegistry:
         return self.latest(ref)
 
     def load(self, ref: str) -> Tuple[Sequential, ModelRecord]:
-        """Load ``(model, record)`` for an id or name."""
+        """Load ``(model, record)`` for an id or name.
+
+        Quantized variants (manifest carries a ``quantization``
+        section) come back as :class:`QuantizedSequential`, which
+        exposes the same inference surface the engine and HTTP service
+        consume, so callers route to either transparently.
+        """
         record = self.resolve(ref)
+        loader = (
+            QuantizedSequential.load
+            if record.manifest.get("quantization")
+            else Sequential.load
+        )
         try:
-            model = Sequential.load(record.model_path)
+            model = loader(record.model_path)
         except FileNotFoundError:
             raise RegistryError(
                 f"manifest for {record.model_id!r} exists but its weights "

@@ -36,7 +36,7 @@ def _report(**means):
     }
 
 
-@pytest.mark.parametrize("suite", ["nn_ops", "ciphers", "serve", "obs"])
+@pytest.mark.parametrize("suite", ["nn_ops", "ciphers", "serve", "obs", "quant"])
 class TestCommittedBaselines:
     def test_baseline_exists_and_validates(self, suite):
         path = BENCH_DIR / f"BENCH_{suite}.json"
@@ -67,8 +67,49 @@ class TestCommittedBaselines:
                 "obs_counter_inc",
                 "obs_histogram_observe",
             },
+            "quant": {
+                "predict_mlp_iii_f32_rows1",
+                "predict_mlp_iii_int8_rows1",
+                "predict_mlp_iii_f32_rows512",
+                "predict_mlp_iii_int8_rows512",
+                "predict_cnn_ii_int8_rows512",
+                "predict_lstm_ii_int8_rows512",
+                "serve_mlp_iii_int8_rows32",
+                "serve_mlp_iii_int8_rows256",
+            },
         }[suite]
         assert expected <= names
+
+
+class TestQuantBaseline:
+    """The committed BENCH_quant.json is also the acceptance record."""
+
+    def test_int8_mlp_iii_speedup_at_least_2x(self):
+        report = json.loads((BENCH_DIR / "BENCH_quant.json").read_text())
+        means = {
+            entry["name"]: entry["mean_s"] for entry in report["benchmarks"]
+        }
+        for rows in (1, 512):
+            f32 = means[f"predict_mlp_iii_f32_rows{rows}"]
+            int8 = means[f"predict_mlp_iii_int8_rows{rows}"]
+            assert f32 / int8 >= 2.0, (
+                f"int8 MLP III at rows={rows}: {f32 / int8:.2f}x < 2x"
+            )
+
+    def test_speedup_extras_match_means(self):
+        report = json.loads((BENCH_DIR / "BENCH_quant.json").read_text())
+        means = {
+            entry["name"]: entry["mean_s"] for entry in report["benchmarks"]
+        }
+        for entry in report["benchmarks"]:
+            speedup = entry.get("speedup_vs_f32")
+            if speedup is None:
+                continue
+            scheme = entry["scheme"]
+            f32_name = entry["name"].replace(f"_{scheme}_", "_f32_")
+            assert speedup == pytest.approx(
+                means[f32_name] / entry["mean_s"], rel=1e-6
+            )
 
 
 class TestValidator:
@@ -126,6 +167,14 @@ class TestValidator:
         assert by_name["b"]["regressed"]  # 2.5x: fails
         assert not by_name["c"]["regressed"]  # speedup: fine
         assert unmatched == []
+
+    def test_compare_reports_percentage_deltas(self):
+        rows, _ = checker.compare_reports(
+            _report(a=0.10, b=0.20), _report(a=0.15, b=0.10)
+        )
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["a"]["delta_pct"] == pytest.approx(50.0)
+        assert by_name["b"]["delta_pct"] == pytest.approx(-50.0)
 
     def test_compare_reports_unmatched_names(self):
         rows, unmatched = checker.compare_reports(

@@ -1,0 +1,292 @@
+"""Tests for the pluggable compute-backend seam.
+
+Two concerns:
+
+* **Selection** — ``get_backend`` resolution order (instance, name,
+  ``REPRO_BACKEND``, default), the registry, and ``compile(backend=...)``.
+* **Bit-identity** — routing the layers and losses through
+  :class:`NumpyBackend` must be *bitwise* identical to computing the
+  same ops with independently spelled plain-numpy expressions.  The
+  reference here is a test-local :class:`RefBackend` whose ops are
+  written differently (explicit ufuncs instead of operators) but round
+  identically; forward passes, backward passes and whole ``fit`` runs
+  are compared in float32 and float64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import (
+    LSTM,
+    Conv1D,
+    Dense,
+    Flatten,
+    LeakyReLU,
+    ReLU,
+    Reshape,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.nn.backend import (
+    BACKEND_ENV_VAR,
+    Backend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+
+
+class RefBackend(Backend):
+    """Plain-numpy ops, spelled independently of :class:`NumpyBackend`.
+
+    Every op uses explicit ufunc calls where NumpyBackend uses operators
+    (and vice versa).  The spellings are chosen to round identically, so
+    any bitwise divergence between a model on this backend and one on
+    NumpyBackend means the seam itself perturbed the numerics.
+    """
+
+    name = "ref"
+
+    def matmul(self, a, b, out=None):
+        return np.matmul(a, b, out=out) if out is not None else np.matmul(a, b)
+
+    def affine(self, x, w, b=None, out=None):
+        if out is None:
+            out = np.matmul(x, w)
+        else:
+            np.matmul(x, w, out=out)
+        if b is not None:
+            np.add(out, b, out=out)
+        return out
+
+    def colsum(self, a, out=None):
+        if out is None:
+            return np.add.reduce(a, axis=0)
+        return np.sum(a, axis=0, out=out)
+
+    def relu(self, x, mask_out):
+        mask_out[...] = np.greater(x, 0)
+        return np.multiply(x, mask_out)
+
+    def relu_backward(self, grad, mask):
+        return np.multiply(grad, mask)
+
+    def leaky_relu(self, x, alpha):
+        mask = np.greater(x, 0)
+        return np.where(mask, x, np.multiply(alpha, x)), mask
+
+    def leaky_relu_backward(self, grad, mask, alpha):
+        return np.where(mask, grad, np.multiply(alpha, grad))
+
+    def sigmoid(self, x):
+        return np.reciprocal(np.add(np.exp(np.negative(np.clip(x, -500, 500))), 1.0))
+
+    def sigmoid_into(self, x, out):
+        out[...] = self.sigmoid(x)
+        return out
+
+    def sigmoid_backward(self, grad, out):
+        return np.multiply(np.multiply(grad, out), np.subtract(1.0, out))
+
+    def tanh(self, x, out=None):
+        return np.tanh(x, out=out) if out is not None else np.tanh(x)
+
+    def tanh_backward(self, grad, out):
+        return np.multiply(grad, np.subtract(1.0, np.square(out)))
+
+    def softmax(self, x):
+        exp = np.exp(np.subtract(x, np.max(x, axis=-1, keepdims=True)))
+        return np.divide(exp, np.sum(exp, axis=-1, keepdims=True))
+
+    def softmax_backward(self, grad, out):
+        inner = np.sum(np.multiply(grad, out), axis=-1, keepdims=True)
+        return np.multiply(out, np.subtract(grad, inner))
+
+    def clip(self, x, lo, hi):
+        return np.clip(x, lo, hi)
+
+    def log(self, x):
+        return np.log(x)
+
+    def exp(self, x):
+        return np.exp(x)
+
+    def lstm_gates(self, z, gates_t, units):
+        u = units
+        self.sigmoid_into(z[:, :u], gates_t[0])
+        self.sigmoid_into(z[:, u:2 * u], gates_t[1])
+        np.tanh(z[:, 2 * u:3 * u], out=gates_t[2])
+        self.sigmoid_into(z[:, 3 * u:], gates_t[3])
+        return gates_t
+
+
+# -- selection and registry ------------------------------------------------
+
+
+class TestSelection:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert isinstance(get_backend(), NumpyBackend)
+
+    def test_instance_resolves_to_itself(self):
+        backend = RefBackend()
+        assert get_backend(backend) is backend
+
+    def test_named_backend_is_a_singleton(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_env_knob_selects_backend(self, monkeypatch):
+        register_backend("test-ref", RefBackend)
+        try:
+            monkeypatch.setenv(BACKEND_ENV_VAR, "test-ref")
+            assert isinstance(get_backend(), RefBackend)
+        finally:
+            from repro.nn.backend import _INSTANCES, _REGISTRY
+
+            _REGISTRY.pop("test-ref", None)
+            _INSTANCES.pop("test-ref", None)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(TrainingError, match="unknown backend"):
+            get_backend("no-such-backend")
+
+    def test_empty_registration_name_rejected(self):
+        with pytest.raises(TrainingError):
+            register_backend("", RefBackend)
+
+    def test_available_backends_lists_numpy(self):
+        assert "numpy" in available_backends()
+
+    def test_compile_accepts_backend_instance(self, rng):
+        backend = RefBackend()
+        model = Sequential([Dense(4), Softmax()]).build((3,), rng)
+        model.compile(backend=backend)
+        assert model.backend is backend
+        assert all(layer.backend is backend for layer in model.layers)
+        assert model.loss.backend is backend
+
+    def test_set_backend_reaches_future_layers(self, rng):
+        backend = RefBackend()
+        model = Sequential([Dense(4), Softmax()]).set_backend(backend)
+        model.build((3,), rng)
+        assert all(layer.backend is backend for layer in model.layers)
+
+
+# -- bit-identity pins ------------------------------------------------------
+
+
+def _mlp(classes=3):
+    return [Dense(16), ReLU(), Dense(8), Sigmoid(), Dense(classes), Softmax()]
+
+
+def _cnn(classes=3):
+    return [
+        Reshape((8, 2)),
+        Conv1D(6, 3, padding="same"),
+        Tanh(),
+        Conv1D(4, 3),
+        LeakyReLU(0.1),
+        Flatten(),
+        Dense(classes),
+        Softmax(),
+    ]
+
+
+def _lstm(classes=3):
+    return [Reshape((4, 4)), LSTM(7), Dense(classes), Softmax()]
+
+
+ARCHES = {"mlp": _mlp, "cnn": _cnn, "lstm": _lstm}
+
+
+def _pair(arch, dtype, rng_factory, backend):
+    """The same architecture built twice from one seed, on two backends."""
+    models = []
+    for spec in ("numpy", backend):
+        model = Sequential(ARCHES[arch]())
+        model.build((16,), rng_factory(7))
+        model.compile(dtype=dtype, backend=spec)
+        models.append(model)
+    return models
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHES))
+@pytest.mark.parametrize("dtype", ["float32", "float64"])
+class TestBitIdentity:
+    def test_forward_bitwise(self, arch, dtype, rng_factory):
+        reference, routed = _pair(arch, dtype, rng_factory, RefBackend())
+        x = rng_factory(11).random((32, 16)).astype(dtype)
+        a = reference.predict_proba(x, batch_size=32)
+        b = routed.predict_proba(x, batch_size=32)
+        assert a.dtype == b.dtype
+        assert a.tobytes() == b.tobytes()
+
+    def test_backward_bitwise(self, arch, dtype, rng_factory):
+        reference, routed = _pair(arch, dtype, rng_factory, RefBackend())
+        x = rng_factory(12).random((16, 16)).astype(dtype)
+        y = np.eye(3, dtype=dtype)[rng_factory(13).integers(0, 3, size=16)]
+        for model in (reference, routed):
+            out = model.forward(x, training=True)
+            _loss, grad = model.loss(y, out)
+            model.backward(grad)
+        for layer_a, layer_b in zip(reference.layers, routed.layers):
+            for grad_a, grad_b in zip(layer_a.grads, layer_b.grads):
+                assert grad_a.tobytes() == grad_b.tobytes()
+
+    def test_full_fit_bitwise(self, arch, dtype, rng_factory):
+        reference, routed = _pair(arch, dtype, rng_factory, RefBackend())
+        x = rng_factory(14).random((48, 16)).astype(dtype)
+        labels = rng_factory(15).integers(0, 3, size=48)
+        for model in (reference, routed):
+            model.fit(x, labels, epochs=2, batch_size=16, shuffle=True, rng=5)
+        probe = rng_factory(16).random((8, 16)).astype(dtype)
+        a = reference.predict_proba(probe)
+        b = routed.predict_proba(probe)
+        assert a.tobytes() == b.tobytes()
+        for layer_a, layer_b in zip(reference.layers, routed.layers):
+            for param_a, param_b in zip(layer_a.params, layer_b.params):
+                assert param_a.tobytes() == param_b.tobytes()
+
+
+class TestOpContracts:
+    """Spot checks of individual NumpyBackend ops against raw numpy."""
+
+    def test_affine_matches_matmul_plus_bias(self, rng):
+        backend = get_backend("numpy")
+        x = rng.random((5, 7)).astype(np.float32)
+        w = rng.random((7, 3)).astype(np.float32)
+        b = rng.random(3).astype(np.float32)
+        expected = x @ w
+        expected += b
+        assert backend.affine(x, w, b).tobytes() == expected.tobytes()
+
+    def test_sigmoid_into_matches_sigmoid(self, rng):
+        backend = get_backend("numpy")
+        x = rng.normal(scale=200.0, size=(4, 9))
+        out = np.empty_like(x)
+        backend.sigmoid_into(x, out)
+        assert out.tobytes() == backend.sigmoid(x).tobytes()
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        backend = get_backend("numpy")
+        x = rng.normal(size=(6, 4))
+        out = backend.softmax(x)
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_lstm_gates_layout(self, rng):
+        backend = get_backend("numpy")
+        units = 3
+        z = rng.normal(size=(5, 4 * units))
+        gates = np.empty((4, 5, units))
+        backend.lstm_gates(z, gates, units)
+        assert gates[0].tobytes() == backend.sigmoid(z[:, :units]).tobytes()
+        assert (
+            gates[2].tobytes()
+            == np.tanh(z[:, 2 * units:3 * units]).tobytes()
+        )

@@ -7,6 +7,7 @@ from repro import GimliHashScenario, MLDistinguisher
 from repro.core.statistics import required_online_samples
 from repro.errors import ServeError
 from repro.nn import Dense, ReLU, Sequential, Softmax
+from repro.nn import quantize_model
 from repro.nn.architectures import build_mlp
 from repro.serve import (
     ModelRegistry,
@@ -287,3 +288,55 @@ class TestEndToEndGame:
         assert cipher_state["accuracy"] == pytest.approx(
             local.accuracy, abs=0.05
         )
+
+    def test_quantized_variant_reaches_same_verdicts_as_parent(self, tmp_path):
+        """ISSUE acceptance: serving the int8 variant of the Gimli-Hash
+        r5 distinguisher over ``/v1/classify`` reaches the same verdicts
+        as its float parent on both oracles."""
+        scenario = GimliHashScenario(rounds=5)
+        distinguisher = MLDistinguisher(
+            scenario, model=build_mlp([64, 128], "relu"), epochs=3, rng=31
+        )
+        report = distinguisher.train(num_samples=6000)
+
+        registry = ModelRegistry(str(tmp_path))
+        registry.register(
+            distinguisher.model, "gimli-hash-r5", scenario=scenario, report=report
+        )
+        holdout, labels = scenario.generate_dataset(500, rng=41)
+        quantized = quantize_model(
+            distinguisher.model, "int8", min_weight_elems=0
+        )
+        record = registry.register_quantized(
+            quantized, "gimli-hash-r5", holdout=(holdout, labels)
+        )
+        assert record.name == "gimli-hash-r5-int8"
+        # Weight rounding must not move the held-out accuracy by more
+        # than half a percentage point.
+        assert abs(record.manifest["quantization"]["accuracy_delta_pp"]) <= 0.5
+
+        n_online = max(
+            200,
+            required_online_samples(
+                report.validation_accuracy, 2, error_probability=0.01
+            ),
+        )
+        with ServeServer(registry) as server:
+            client = ServeClient(server.url)
+            verdicts = {}
+            for name in ("gimli-hash-r5", "gimli-hash-r5-int8"):
+                cipher_state = client.run_online_phase(
+                    name, scenario, scenario.cipher_oracle(), n_online, rng=18
+                )
+                random_state = client.run_online_phase(
+                    name,
+                    scenario,
+                    scenario.random_oracle(rng=19, memoize=False),
+                    n_online,
+                    rng=20,
+                )
+                verdicts[name] = (
+                    cipher_state["verdict"], random_state["verdict"]
+                )
+        assert verdicts["gimli-hash-r5"] == ("CIPHER", "RANDOM")
+        assert verdicts["gimli-hash-r5-int8"] == verdicts["gimli-hash-r5"]
