@@ -49,6 +49,7 @@ SCRIPT_SUITES = {
     "serve": BENCH_DIR / "bench_serve.py",
     "obs": BENCH_DIR / "bench_obs.py",
     "quant": BENCH_DIR / "bench_quant.py",
+    "search": BENCH_DIR / "bench_search.py",
 }
 
 ALL_SUITES = {**SUITES, **SCRIPT_SUITES}

@@ -25,6 +25,11 @@ from repro.core.extra_scenarios import (
     TriviumScenario,
 )
 from repro.core.oracle import CipherOracle, Oracle, RandomOracle
+from repro.core.related_key import (
+    RelatedKeyScenario,
+    SpeckRelatedKeyScenario,
+    ToySpeckRelatedKeyScenario,
+)
 from repro.core.scenario import (
     DifferentialScenario,
     GimliCipherScenario,
@@ -57,6 +62,9 @@ __all__ = [
     "Oracle",
     "RandomOracle",
     "RecoveryResult",
+    "RelatedKeyScenario",
+    "SpeckRelatedKeyScenario",
+    "ToySpeckRelatedKeyScenario",
     "SpeckKeyRecovery",
     "SpeckRealOrRandomScenario",
     "ToySpeckScenario",

@@ -38,7 +38,10 @@ from repro.errors import DistinguisherError
 
 #: Bump when the sharded-generation protocol changes (shard layout,
 #: regroup order, ...) so stale entries can never be returned.
-CACHE_PROTOCOL = 1
+#: 2: the scenario fingerprint carries the difference set explicitly
+#: (not only via ``__dict__``), so scenarios that compute their masks
+#: lazily or hold them behind properties can never alias.
+CACHE_PROTOCOL = 2
 
 #: Environment variable naming the cache directory; unset/empty disables
 #: caching.
@@ -73,11 +76,21 @@ def _canonical(value):
 
 
 def scenario_fingerprint(scenario) -> tuple:
-    """Structural fingerprint of a scenario (class + all attributes)."""
+    """Structural fingerprint of a scenario (class + all attributes).
+
+    The chosen difference set is folded in *explicitly* (byte-for-byte,
+    on top of whatever ``__dict__`` carries): two scenarios that agree
+    on every constructor parameter except one difference bit must hash
+    apart, or a search-discovered scenario could collide with a paper
+    scenario in ``REPRO_DATASET_CACHE`` and silently return the wrong
+    dataset.
+    """
+    masks = getattr(scenario, "difference_masks", None)
     return (
         type(scenario).__module__,
         type(scenario).__qualname__,
         _canonical(getattr(scenario, "__dict__", {})),
+        ("difference_masks", _canonical(np.asarray(masks)) if masks is not None else None),
     )
 
 

@@ -1,0 +1,183 @@
+"""Related-key differential scenarios (SPECK / ToySpeck).
+
+The paper's scenarios fix the key per sample and choose *plaintext*
+differences only.  The related-key setting (Lu et al.'s SIMON/SIMECK
+neural distinguishers, see PAPERS.md) lets each class difference span
+the key as well: class ``i`` queries the oracle on
+``(P ⊕ δP_i, K ⊕ δK_i)`` and the attacker observes the ciphertext
+difference against the base query ``(P, K)``.
+
+Rather than growing a second oracle protocol, these scenarios fold the
+key into the *input* of the differential game: a query input is the
+concatenation ``(plaintext words || key words)`` and the difference
+masks span both halves.  Everything downstream — ``apply_difference``,
+:class:`~repro.core.oracle.CipherOracle`/``RandomOracle``,
+``generate_dataset`` (including the sharded parallel path and the
+dataset cache), :class:`~repro.core.distinguisher.MLDistinguisher`, and
+the ``repro.search`` bias oracle — works unchanged, because none of
+them assume the input is "only" a plaintext.
+
+A mask whose key half is zero reduces to the ordinary single-key game
+(with the key re-randomised per sample), so the classic chosen-plaintext
+differences remain expressible inside the related-key scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ciphers.speck import FULL_ROUNDS as SPECK_FULL_ROUNDS
+from repro.ciphers.speck import encrypt_batch as speck_encrypt_batch
+from repro.ciphers.toyspeck import FULL_ROUNDS as TOYSPECK_FULL_ROUNDS
+from repro.ciphers.toyspeck import encrypt_batch as toyspeck_encrypt_batch
+from repro.core.scenario import DifferentialScenario
+from repro.errors import DistinguisherError
+
+
+class RelatedKeyScenario(DifferentialScenario):
+    """Base class: inputs are ``(block_words || key_words)`` vectors.
+
+    Subclasses set ``block_words`` / ``key_words`` / ``word_width`` and
+    implement :meth:`encrypt` on the split halves.  ``input_words`` is
+    the concatenated width; the observable is the ciphertext block.
+    """
+
+    #: words in the plaintext block (the first half of an input)
+    block_words: int
+    #: words in the key (the second half of an input)
+    key_words: int
+
+    def __init__(self, difference_masks: np.ndarray):
+        self.input_words = self.block_words + self.key_words
+        self.output_words = self.block_words
+        super().__init__(difference_masks)
+
+    def encrypt(self, plaintexts: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Batched encryption of the split input halves."""
+        raise NotImplementedError
+
+    def sample_base_inputs(self, n, rng):
+        high = 1 << self.word_width
+        dtype = {8: np.uint8, 16: np.uint16, 32: np.uint32}[self.word_width]
+        return rng.integers(0, high, size=(n, self.input_words), dtype=dtype)
+
+    def pipeline(self, inputs, context=None):
+        del context
+        arr = np.asarray(inputs)
+        return self.encrypt(arr[:, : self.block_words], arr[:, self.block_words :])
+
+    def split_masks(self):
+        """The ``(plaintext, key)`` halves of every class difference."""
+        return (
+            self.difference_masks[:, : self.block_words],
+            self.difference_masks[:, self.block_words :],
+        )
+
+
+def _masks_from_deltas(
+    deltas: Sequence[Sequence[int]],
+    block_words: int,
+    key_words: int,
+    word_width: int,
+) -> np.ndarray:
+    """Build ``(t, block+key)`` masks from ``(plaintext, key)`` int pairs.
+
+    Each entry of ``deltas`` is ``(plaintext_delta, key_delta)`` with the
+    plaintext difference packed most-significant word first (matching
+    the test-vector notation of the SPECK family) and the key difference
+    packed the same way across ``key_words`` words.
+    """
+    masks = np.zeros(
+        (len(deltas), block_words + key_words),
+        dtype={8: np.uint8, 16: np.uint16, 32: np.uint32}[word_width],
+    )
+    mask_value = (1 << word_width) - 1
+    for row, (p_delta, k_delta) in enumerate(deltas):
+        p_delta, k_delta = int(p_delta), int(k_delta)
+        if not 0 <= p_delta < 1 << (block_words * word_width):
+            raise DistinguisherError(
+                f"plaintext difference {p_delta:#x} does not fit "
+                f"{block_words * word_width} bits"
+            )
+        if not 0 <= k_delta < 1 << (key_words * word_width):
+            raise DistinguisherError(
+                f"key difference {k_delta:#x} does not fit "
+                f"{key_words * word_width} bits"
+            )
+        for word in range(block_words):
+            shift = (block_words - 1 - word) * word_width
+            masks[row, word] = (p_delta >> shift) & mask_value
+        for word in range(key_words):
+            shift = (key_words - 1 - word) * word_width
+            masks[row, block_words + word] = (k_delta >> shift) & mask_value
+    return masks
+
+
+class SpeckRelatedKeyScenario(RelatedKeyScenario):
+    """Related-key ``t``-difference game on round-reduced SPECK-32/64.
+
+    ``deltas`` is a sequence of ``(plaintext_delta, key_delta)`` pairs —
+    32-bit and 64-bit integers, most-significant word first.  The
+    defaults pit Gohr's plaintext difference ``0x0040/0000`` against a
+    pure key difference flipping bit 0 of the last key word (the word
+    that becomes the first round key).
+    """
+
+    block_words = 2
+    key_words = 4
+    word_width = 16
+
+    def __init__(
+        self,
+        rounds: int = 7,
+        deltas: Sequence[Sequence[int]] = ((0x0040_0000, 0), (0, 1)),
+        masks: Optional[np.ndarray] = None,
+    ):
+        if not 1 <= rounds <= SPECK_FULL_ROUNDS:
+            raise DistinguisherError(
+                f"rounds must be in [1, {SPECK_FULL_ROUNDS}], got {rounds}"
+            )
+        if masks is None:
+            masks = _masks_from_deltas(
+                deltas, self.block_words, self.key_words, self.word_width
+            )
+        super().__init__(np.asarray(masks, dtype=np.uint16))
+        self.rounds = int(rounds)
+
+    def encrypt(self, plaintexts, keys):
+        return speck_encrypt_batch(plaintexts, keys, self.rounds)
+
+
+class ToySpeckRelatedKeyScenario(RelatedKeyScenario):
+    """Related-key ``t``-difference game on round-reduced ToySpeck.
+
+    Small enough that search sweeps over the joint 48-bit
+    plaintext-and-key difference space finish in seconds.  ``deltas``
+    pairs are 16-bit plaintext and 32-bit key differences.
+    """
+
+    block_words = 2
+    key_words = 4
+    word_width = 8
+
+    def __init__(
+        self,
+        rounds: int = 4,
+        deltas: Sequence[Sequence[int]] = ((0x0040, 0), (0, 1)),
+        masks: Optional[np.ndarray] = None,
+    ):
+        if not 1 <= rounds <= TOYSPECK_FULL_ROUNDS:
+            raise DistinguisherError(
+                f"rounds must be in [1, {TOYSPECK_FULL_ROUNDS}], got {rounds}"
+            )
+        if masks is None:
+            masks = _masks_from_deltas(
+                deltas, self.block_words, self.key_words, self.word_width
+            )
+        super().__init__(np.asarray(masks, dtype=np.uint8))
+        self.rounds = int(rounds)
+
+    def encrypt(self, plaintexts, keys):
+        return toyspeck_encrypt_batch(plaintexts, keys, self.rounds)

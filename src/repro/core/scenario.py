@@ -171,6 +171,13 @@ class GimliHashScenario(DifferentialScenario):
     (with padding and domain separation) by an ``rounds``-round Gimli
     permutation; the observable is the first 128-bit squeeze ``h`` and
     the classes flip the LSB of the message bytes in ``diff_bytes``.
+
+    ``masks`` overrides ``diff_bytes`` with explicit ``(t, 4)`` uint32
+    message differences (any bits, not just byte LSBs) — the form the
+    automated difference search of :mod:`repro.search` produces.  Masks
+    must stay inside the ``block_len``-byte message: a difference in the
+    padding bytes would encode a different message length, not a chosen
+    message difference.
     """
 
     input_words = 4
@@ -181,20 +188,35 @@ class GimliHashScenario(DifferentialScenario):
         rounds: int = 8,
         diff_bytes: Sequence[int] = (4, 12),
         block_len: int = 15,
+        masks: Optional[np.ndarray] = None,
     ):
         if not 0 < block_len < RATE_BYTES:
             raise DistinguisherError(
                 f"block_len must be in (0, {RATE_BYTES}), got {block_len}"
             )
-        for byte in diff_bytes:
-            if not 0 <= byte < block_len:
+        if masks is None:
+            for byte in diff_bytes:
+                if not 0 <= byte < block_len:
+                    raise DistinguisherError(
+                        f"difference byte {byte} outside the {block_len}-byte block"
+                    )
+            masks = np.zeros((len(diff_bytes), 4), dtype=np.uint32)
+            for row, byte in enumerate(diff_bytes):
+                word, mask = _byte_flip_mask(byte)
+                masks[row, word] = mask
+        else:
+            masks = np.asarray(masks, dtype=np.uint32)
+            allowed = np.zeros(4, dtype=np.uint64)
+            for byte in range(block_len):
+                word, offset = divmod(byte, 4)
+                allowed[word] |= np.uint64(0xFF) << np.uint64(8 * offset)
+            if masks.ndim != 2 or (
+                masks.astype(np.uint64) & ~allowed
+            ).any():
                 raise DistinguisherError(
-                    f"difference byte {byte} outside the {block_len}-byte block"
+                    f"masks must be (t, 4) differences inside the first "
+                    f"{block_len} message bytes"
                 )
-        masks = np.zeros((len(diff_bytes), 4), dtype=np.uint32)
-        for row, byte in enumerate(diff_bytes):
-            word, mask = _byte_flip_mask(byte)
-            masks[row, word] = mask
         super().__init__(masks)
         self.rounds = int(rounds)
         self.block_len = int(block_len)

@@ -24,6 +24,12 @@ experiment's semantics:
 runners train independent (cipher, rounds, network) cells in that many
 worker processes, with per-cell seed material derived up front so the
 results are identical for every worker count.
+
+The automated input-difference search has its own budget knobs
+(``REPRO_SEARCH_POPULATION`` / ``_GENERATIONS`` / ``_SAMPLES`` /
+``_SEED`` / ``_TOP_K`` — see :mod:`repro.search.evolve` and the
+EXPERIMENTS.md table); run manifests capture them with every other
+``REPRO_*`` variable automatically.
 """
 
 from __future__ import annotations

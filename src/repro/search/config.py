@@ -1,0 +1,365 @@
+"""Declarative scenario configs: one JSON dict = one experiment.
+
+The paper's scenarios are constructed in code, one hand-written class
+instantiation at a time.  This module makes *any* registered cipher ×
+rounds × difference-set a one-line experiment::
+
+    {
+      "name": "toyspeck-r3-auto",
+      "scenario": "toyspeck",
+      "params": {"rounds": 3},
+      "search": {"generations": 6, "population_size": 24, "seed": 7},
+      "train": {"num_samples": 16000, "epochs": 3, "seed": 11}
+    }
+
+``scenario`` names a builder in :data:`SCENARIO_BUILDERS`; ``params``
+are its constructor knobs (everything *except* the differences);
+``differences`` optionally fixes the ``(t, input_words)`` masks by hand
+(the paper's scenarios are all expressible this way); ``search``
+instead discovers them with :func:`repro.search.evolve.evolve_differences`
+(hand-given ``differences`` are then injected as seeds, so search can
+only match or beat them).  ``train``/``register`` parameterise the
+downstream :class:`~repro.core.distinguisher.MLDistinguisher` fit and
+:class:`~repro.serve.ModelRegistry` registration.
+
+Builders deliberately construct *scenario objects* (not raw pipelines):
+a built scenario carries its difference set in its fingerprint, so the
+dataset cache and the registry manifest both see exactly what was
+searched or specified.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.extra_scenarios import Gift16Scenario, Gift64Scenario, SalsaScenario
+from repro.core.related_key import (
+    SpeckRelatedKeyScenario,
+    ToySpeckRelatedKeyScenario,
+)
+from repro.core.scenario import (
+    DifferentialScenario,
+    GimliHashScenario,
+    GimliPermutationScenario,
+    ToySpeckScenario,
+)
+from repro.errors import SearchError
+
+
+@dataclass(frozen=True)
+class ScenarioBuilder:
+    """One entry of the builder registry.
+
+    ``build(masks, **params)`` returns a scenario whose difference set
+    is exactly ``masks``; ``probe`` returns a minimal 2-class mask set
+    used to instantiate the *prototype* the bias oracle samples from;
+    ``allowed`` (optional) returns the per-word bit mask of searchable
+    positions — bits the difference may legally touch.
+    """
+
+    name: str
+    build: Callable[..., DifferentialScenario]
+    probe: Callable[..., np.ndarray]
+    allowed: Optional[Callable[..., Optional[np.ndarray]]] = None
+
+    def prototype(self, **params) -> DifferentialScenario:
+        """A scenario instance for oracle sampling (masks are probes)."""
+        return self.build(self.probe(**params), **params)
+
+    def allowed_bits(self, **params) -> Optional[np.ndarray]:
+        return self.allowed(**params) if self.allowed is not None else None
+
+
+def _single_bit_masks(rows: Sequence[int], words: int, dtype) -> np.ndarray:
+    masks = np.zeros((len(rows), words), dtype=dtype)
+    for index, (word, bit) in enumerate(rows):
+        masks[index, word] = dtype(1 << bit)
+    return masks
+
+
+# -- builders ---------------------------------------------------------------
+
+
+def _build_gimli_hash(masks, rounds: int = 8, block_len: int = 15):
+    return GimliHashScenario(rounds=rounds, block_len=block_len, masks=masks)
+
+
+def _probe_gimli_hash(rounds: int = 8, block_len: int = 15):
+    del rounds, block_len
+    return _single_bit_masks([(1, 0), (3, 0)], 4, np.uint32)  # bytes 4 / 12
+
+
+def _allowed_gimli_hash(rounds: int = 8, block_len: int = 15):
+    del rounds
+    allowed = np.zeros(4, dtype=np.uint32)
+    for byte in range(block_len):
+        word, offset = divmod(byte, 4)
+        allowed[word] |= np.uint32(0xFF << (8 * offset))
+    return allowed
+
+
+def _build_gimli_permutation(masks, rounds: int = 8, observe_words=None):
+    return GimliPermutationScenario(
+        rounds=rounds, differences=masks, observe_words=observe_words
+    )
+
+
+def _probe_gimli_permutation(rounds: int = 8, observe_words=None):
+    del rounds, observe_words
+    return _single_bit_masks([(1, 0), (3, 0)], 12, np.uint32)
+
+
+def _build_toyspeck(masks, rounds: int = 4):
+    masks = np.asarray(masks, dtype=np.uint8)
+    deltas = [(int(row[0]) << 8) | int(row[1]) for row in masks]
+    return ToySpeckScenario(rounds=rounds, deltas=deltas)
+
+
+def _probe_toyspeck(rounds: int = 4):
+    del rounds
+    return np.array([[0x00, 0x40], [0x20, 0x00]], dtype=np.uint8)
+
+
+def _build_gift16(masks, rounds: int = 4):
+    masks = np.asarray(masks, dtype=np.uint16)
+    return Gift16Scenario(rounds=rounds, deltas=[int(row[0]) for row in masks])
+
+
+def _probe_gift16(rounds: int = 4):
+    del rounds
+    return np.array([[0x0001], [0x0010]], dtype=np.uint16)
+
+
+def _build_gift64(masks, rounds: int = 4):
+    masks = np.asarray(masks, dtype=np.uint32)
+    deltas = [
+        int(row[0]) | (int(row[1]) << 32) for row in masks
+    ]
+    return Gift64Scenario(rounds=rounds, deltas=deltas)
+
+
+def _probe_gift64(rounds: int = 4):
+    del rounds
+    return _single_bit_masks([(0, 0), (1, 0)], 2, np.uint32)
+
+
+def _build_salsa(masks, rounds: int = 2):
+    return SalsaScenario(rounds=rounds, differences=masks)
+
+
+def _probe_salsa(rounds: int = 2):
+    del rounds
+    return _single_bit_masks([(6, 0), (7, 0)], 16, np.uint32)
+
+
+def _build_speck_related_key(masks, rounds: int = 7):
+    return SpeckRelatedKeyScenario(rounds=rounds, masks=np.asarray(masks, np.uint16))
+
+
+def _probe_speck_related_key(rounds: int = 7):
+    del rounds
+    probe = np.zeros((2, 6), dtype=np.uint16)
+    probe[0, 0] = 0x0040  # Gohr's plaintext difference, key half zero
+    probe[1, 5] = 0x0001  # pure key difference in the first round key
+    return probe
+
+
+def _build_toyspeck_related_key(masks, rounds: int = 4):
+    return ToySpeckRelatedKeyScenario(
+        rounds=rounds, masks=np.asarray(masks, np.uint8)
+    )
+
+
+def _probe_toyspeck_related_key(rounds: int = 4):
+    del rounds
+    probe = np.zeros((2, 6), dtype=np.uint8)
+    probe[0, 1] = 0x40
+    probe[1, 5] = 0x01
+    return probe
+
+
+SCENARIO_BUILDERS: Dict[str, ScenarioBuilder] = {}
+
+
+def register_scenario_builder(builder: ScenarioBuilder) -> None:
+    """Add a builder to the declarative-config registry."""
+    if builder.name in SCENARIO_BUILDERS:
+        raise SearchError(f"scenario builder {builder.name!r} already registered")
+    SCENARIO_BUILDERS[builder.name] = builder
+
+
+def get_scenario_builder(name: str) -> ScenarioBuilder:
+    try:
+        return SCENARIO_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIO_BUILDERS))
+        raise SearchError(
+            f"unknown scenario {name!r}; known: {known}"
+        ) from None
+
+
+for _builder in (
+    ScenarioBuilder("gimli-hash", _build_gimli_hash, _probe_gimli_hash,
+                    _allowed_gimli_hash),
+    ScenarioBuilder("gimli-permutation", _build_gimli_permutation,
+                    _probe_gimli_permutation),
+    ScenarioBuilder("toyspeck", _build_toyspeck, _probe_toyspeck),
+    ScenarioBuilder("gift16", _build_gift16, _probe_gift16),
+    ScenarioBuilder("gift64", _build_gift64, _probe_gift64),
+    ScenarioBuilder("salsa", _build_salsa, _probe_salsa),
+    ScenarioBuilder("speck-related-key", _build_speck_related_key,
+                    _probe_speck_related_key),
+    ScenarioBuilder("toyspeck-related-key", _build_toyspeck_related_key,
+                    _probe_toyspeck_related_key),
+):
+    register_scenario_builder(_builder)
+
+
+# -- the declarative spec ---------------------------------------------------
+
+_TOP_LEVEL_KEYS = {
+    "name",
+    "scenario",
+    "params",
+    "differences",
+    "num_differences",
+    "search",
+    "train",
+    "register",
+}
+_SEARCH_KEYS = {
+    "population_size",
+    "generations",
+    "elite",
+    "mutation_bits",
+    "top_k",
+    "n_samples",
+    "seed",
+}
+_TRAIN_KEYS = {
+    "num_samples",
+    "epochs",
+    "batch_size",
+    "hidden",
+    "seed",
+    "significance",
+}
+
+
+@dataclass
+class ScenarioSpec:
+    """A validated declarative scenario config."""
+
+    name: str
+    scenario: str
+    params: dict = field(default_factory=dict)
+    differences: Optional[np.ndarray] = None
+    num_differences: int = 2
+    search: Optional[dict] = None
+    train: dict = field(default_factory=dict)
+    register: dict = field(default_factory=dict)
+
+    @property
+    def builder(self) -> ScenarioBuilder:
+        return get_scenario_builder(self.scenario)
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ScenarioSpec":
+        if not isinstance(raw, dict):
+            raise SearchError(f"scenario config must be a dict, got {type(raw)}")
+        unknown = set(raw) - _TOP_LEVEL_KEYS
+        if unknown:
+            raise SearchError(
+                f"unknown scenario-config keys {sorted(unknown)}; "
+                f"known: {sorted(_TOP_LEVEL_KEYS)}"
+            )
+        for key in ("scenario",):
+            if key not in raw:
+                raise SearchError(f"scenario config is missing {key!r}")
+        builder = get_scenario_builder(str(raw["scenario"]))
+        params = dict(raw.get("params") or {})
+        differences = raw.get("differences")
+        search = raw.get("search")
+        if differences is None and search is None:
+            raise SearchError(
+                "scenario config needs 'differences', a 'search' section, "
+                "or both"
+            )
+        if search is not None:
+            if not isinstance(search, dict):
+                raise SearchError("'search' must be a dict of SearchConfig knobs")
+            unknown = set(search) - _SEARCH_KEYS
+            if unknown:
+                raise SearchError(
+                    f"unknown search keys {sorted(unknown)}; "
+                    f"known: {sorted(_SEARCH_KEYS)}"
+                )
+        train = dict(raw.get("train") or {})
+        unknown = set(train) - _TRAIN_KEYS
+        if unknown:
+            raise SearchError(
+                f"unknown train keys {sorted(unknown)}; known: {sorted(_TRAIN_KEYS)}"
+            )
+        register = dict(raw.get("register") or {})
+        if differences is not None:
+            try:
+                differences = np.asarray(differences, dtype=np.uint64)
+            except (TypeError, ValueError, OverflowError):
+                raise SearchError(
+                    "'differences' must be a (t, input_words) list of "
+                    "non-negative word values"
+                ) from None
+            if differences.ndim != 2:
+                raise SearchError(
+                    f"'differences' must be 2-D (t, input_words), got shape "
+                    f"{differences.shape}"
+                )
+        num_differences = int(raw.get("num_differences", 2))
+        if num_differences < 2:
+            raise SearchError(
+                f"num_differences must be >= 2, got {num_differences}"
+            )
+        name = str(raw.get("name") or raw["scenario"])
+        return cls(
+            name=name,
+            scenario=str(raw["scenario"]),
+            params=params,
+            differences=differences,
+            num_differences=num_differences,
+            search=dict(search) if search is not None else None,
+            train=train,
+            register=register,
+        )
+
+    @classmethod
+    def from_json(cls, path: str) -> "ScenarioSpec":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except FileNotFoundError:
+            raise SearchError(f"no scenario config at {path!r}") from None
+        except json.JSONDecodeError as exc:
+            raise SearchError(f"invalid JSON in {path!r}: {exc}") from None
+        return cls.from_dict(raw)
+
+    def build_scenario(self, masks) -> DifferentialScenario:
+        """Instantiate the scenario with an explicit difference set."""
+        try:
+            return self.builder.build(masks, **self.params)
+        except TypeError as exc:
+            raise SearchError(
+                f"bad params for scenario {self.scenario!r}: {exc}"
+            ) from None
+
+    def prototype(self) -> DifferentialScenario:
+        """The oracle-sampling prototype for this spec."""
+        try:
+            return self.builder.prototype(**self.params)
+        except TypeError as exc:
+            raise SearchError(
+                f"bad params for scenario {self.scenario!r}: {exc}"
+            ) from None

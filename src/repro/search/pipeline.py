@@ -1,0 +1,154 @@
+"""End-to-end pipeline: search → train → register.
+
+One declarative :class:`~repro.search.config.ScenarioSpec` drives the
+whole chain the paper performs by hand:
+
+1. **Search** (optional): run the evolutionary bias search over the
+   spec's scenario family and take the global top-``num_differences``
+   masks as the class differences.  Hand-given ``differences`` skip the
+   search — or seed it, when both are present.
+2. **Train**: the standard offline phase of
+   :class:`~repro.core.distinguisher.MLDistinguisher` on the built
+   scenario (sharded generation and the dataset cache apply unchanged —
+   the scenario fingerprint covers the discovered difference set, so
+   searched scenarios can never collide with paper scenarios in
+   ``REPRO_DATASET_CACHE``).
+3. **Register** (optional): persist the trained model in a
+   :class:`~repro.serve.ModelRegistry`; the manifest's ``search``
+   section records the discovered differences, their bias scores and
+   the search budget, so a served model is auditable back to the
+   difference set it was trained on.
+
+Every stage reports through :mod:`repro.obs` spans and the process
+metrics registry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.distinguisher import MLDistinguisher
+from repro.errors import SearchError
+from repro.nn.architectures import build_mlp
+from repro.obs import log as obs_log
+from repro.obs.trace import span
+from repro.search.config import ScenarioSpec
+from repro.search.evolve import SearchConfig, SearchResult, evolve_differences
+from repro.search.oracle import BiasScoringOracle
+
+_log = obs_log.get_logger("repro.search")
+
+#: Default offline budget of the pipeline's training stage (small: the
+#: CLI is a scenario generator, not a paper-scale table run).
+DEFAULT_TRAIN_SAMPLES = 12_000
+DEFAULT_TRAIN_EPOCHS = 3
+DEFAULT_HIDDEN = (64, 128)
+
+
+def run_search(
+    spec: ScenarioSpec, workers: Optional[int] = None
+) -> SearchResult:
+    """The search stage alone: ranked differences for ``spec``."""
+    if spec.search is None:
+        raise SearchError(f"spec {spec.name!r} has no 'search' section")
+    config = SearchConfig.from_env(workers=workers, **spec.search)
+    prototype = spec.prototype()
+    oracle = BiasScoringOracle(
+        prototype,
+        n_samples=config.n_samples,
+        rng=config.seed,
+        workers=config.workers,
+    )
+    seeds = None
+    if spec.differences is not None:
+        seeds = np.asarray(
+            spec.differences, dtype=prototype.difference_masks.dtype
+        )
+    allowed = spec.builder.allowed_bits(**spec.params)
+    top_k = max(config.top_k, spec.num_differences)
+    config = SearchConfig.from_env(
+        workers=workers, **{**spec.search, "top_k": top_k}
+    )
+    return evolve_differences(oracle, config, allowed=allowed, seeds=seeds)
+
+
+def run_search_pipeline(
+    spec: ScenarioSpec,
+    registry=None,
+    workers: Optional[int] = None,
+    verbose: bool = False,
+) -> dict:
+    """Run the full search → train → register chain for one spec.
+
+    ``registry`` is a :class:`~repro.serve.ModelRegistry` (or ``None``
+    to skip registration).  Returns a JSON-ready summary with the
+    difference set actually used, the search digest (when a search
+    ran), the training report, and the registered model id (when a
+    registry was given).
+    """
+    result = None
+    with span("search.pipeline", scenario=spec.scenario, spec=spec.name):
+        if spec.search is not None:
+            result = run_search(spec, workers=workers)
+            masks = result.top(min(spec.num_differences,
+                                   result.ranked_masks.shape[0]))
+            if masks.shape[0] < 2:
+                raise SearchError(
+                    f"search returned {masks.shape[0]} usable difference(s); "
+                    "a scenario needs at least 2"
+                )
+        else:
+            masks = spec.differences
+        scenario = spec.build_scenario(masks)
+
+        train = dict(spec.train)
+        num_samples = int(train.get("num_samples", DEFAULT_TRAIN_SAMPLES))
+        epochs = int(train.get("epochs", DEFAULT_TRAIN_EPOCHS))
+        hidden = list(train.get("hidden", DEFAULT_HIDDEN))
+        seed = train.get("seed", 0)
+        distinguisher = MLDistinguisher(
+            scenario,
+            model=build_mlp(hidden, "relu", num_classes=scenario.num_classes),
+            epochs=epochs,
+            batch_size=int(train.get("batch_size", 128)),
+            rng=seed,
+            workers=workers,
+        )
+        with span("search.train", samples=num_samples):
+            report = distinguisher.train(
+                num_samples,
+                significance=float(train.get("significance", 1e-3)),
+                verbose=verbose,
+            )
+
+        summary = {
+            "name": spec.name,
+            "scenario": spec.scenario,
+            "params": dict(spec.params),
+            "differences": np.asarray(scenario.difference_masks).tolist(),
+            "search": result.summary() if result is not None else None,
+            "training": {
+                "validation_accuracy": report.validation_accuracy,
+                "training_accuracy": report.training_accuracy,
+                "num_samples": report.num_samples,
+                "num_classes": report.num_classes,
+            },
+        }
+        if registry is not None:
+            record = registry.register(
+                distinguisher.model,
+                spec.register.get("name", spec.name),
+                scenario=scenario,
+                report=report,
+                search=result.summary() if result is not None else None,
+            )
+            summary["model_id"] = record.model_id
+            summary["version"] = record.version
+            _log.info(
+                "search.registered",
+                name=record.name,
+                model_id=record.model_id[:12],
+            )
+    return summary

@@ -152,6 +152,7 @@ class ModelRecord:
             "threshold": self.threshold,
             "input_shape": self.manifest.get("input_shape"),
             "quantization": quantization.get("scheme"),
+            "searched": bool(self.manifest.get("search")),
         }
 
 
@@ -197,6 +198,7 @@ class ModelRegistry:
         name: str,
         scenario=None,
         report=None,
+        search: Optional[dict] = None,
         extra: Optional[dict] = None,
     ) -> ModelRecord:
         """Persist ``model`` under ``name`` and return its record.
@@ -205,8 +207,13 @@ class ModelRegistry:
         (a :class:`TrainingReport` or equivalent dict) enrich the
         manifest with the online-phase parameters; both are optional so
         untrained or externally-trained models can still be served.
-        Registering a model whose content digest already exists is
-        idempotent and returns the existing record unchanged.
+        ``search`` (a JSON-ready dict, e.g.
+        :meth:`repro.search.SearchResult.summary`) records how the
+        model's input differences were *discovered* — the
+        ``repro.search`` pipeline passes it so a served model is
+        auditable back to its difference search.  Registering a model
+        whose content digest already exists is idempotent and returns
+        the existing record unchanged.
         """
         if not name or "/" in name or name != name.strip():
             raise RegistryError(f"invalid model name {name!r}")
@@ -244,6 +251,8 @@ class ModelRegistry:
             )
         else:
             manifest["threshold"] = None
+        if search:
+            manifest["search"] = dict(search)
         if extra:
             manifest["extra"] = dict(extra)
 

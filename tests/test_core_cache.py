@@ -156,3 +156,52 @@ class TestShardedGenerationCaching:
         import os
 
         assert len([f for f in os.listdir(cache.root) if f.endswith(".npz")]) == 2
+
+
+class TestDifferenceSetInKey:
+    """The fingerprint must carry the full difference set (search PR)."""
+
+    def test_single_bit_mask_change_changes_fingerprint(self):
+        a = ToySpeckScenario(deltas=(0x0040, 0x2000))
+        b = ToySpeckScenario(deltas=(0x0041, 0x2000))
+        assert scenario_fingerprint(a) != scenario_fingerprint(b)
+
+    def test_single_bit_mask_change_changes_cache_key(self):
+        a = ToySpeckScenario(deltas=(0x0040, 0x2000))
+        b = ToySpeckScenario(deltas=(0x0041, 0x2000))
+        seed = np.random.SeedSequence(3)
+        key_a = dataset_cache_key(a, 100, 64, True, seed)
+        key_b = dataset_cache_key(b, 100, 64, True, seed)
+        assert key_a != key_b
+
+    def test_mask_order_changes_fingerprint(self):
+        a = ToySpeckScenario(deltas=(0x0040, 0x2000))
+        b = ToySpeckScenario(deltas=(0x2000, 0x0040))
+        assert scenario_fingerprint(a) != scenario_fingerprint(b)
+
+    def test_gimli_hash_searched_masks_change_fingerprint(self):
+        base = GimliHashScenario(rounds=2)
+        searched = np.array(base.difference_masks, copy=True)
+        searched[0, 0] ^= np.uint32(0x2)  # second bit of byte 0
+        moved = GimliHashScenario(rounds=2, masks=searched)
+        assert scenario_fingerprint(base) != scenario_fingerprint(moved)
+
+    def test_no_collision_in_dataset_cache(self, cache):
+        # two scenarios differing only in one difference bit must hit
+        # different REPRO_DATASET_CACHE entries
+        a = ToySpeckScenario(deltas=(0x0040, 0x2000))
+        b = ToySpeckScenario(deltas=(0x0041, 0x2000))
+        Xa, ya = generate_dataset_sharded(a, 100, rng=1, shard_size=64, cache=cache)
+        Xb, yb = generate_dataset_sharded(b, 100, rng=1, shard_size=64, cache=cache)
+        import os
+
+        entries = [f for f in os.listdir(cache.root) if f.endswith(".npz")]
+        assert len(entries) == 2
+        assert not np.array_equal(Xa, Xb)
+
+    def test_related_key_and_plain_never_collide(self):
+        from repro.core.related_key import ToySpeckRelatedKeyScenario
+
+        plain = ToySpeckScenario(rounds=2)
+        related = ToySpeckRelatedKeyScenario(rounds=2)
+        assert scenario_fingerprint(plain) != scenario_fingerprint(related)

@@ -1,0 +1,149 @@
+"""Tests for the related-key differential scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.related_key import (
+    SpeckRelatedKeyScenario,
+    ToySpeckRelatedKeyScenario,
+    _masks_from_deltas,
+)
+from repro.errors import DistinguisherError
+
+
+class TestMaskPacking:
+    def test_plaintext_packs_msw_first(self):
+        masks = _masks_from_deltas([(0x0040_0000, 0)], 2, 4, 16)
+        assert masks[0].tolist() == [0x0040, 0, 0, 0, 0, 0]
+
+    def test_key_packs_msw_first(self):
+        masks = _masks_from_deltas([(0, 0x0001_0000_0000_0000)], 2, 4, 16)
+        assert masks[0].tolist() == [0, 0, 0x0001, 0, 0, 0]
+
+    def test_key_lsw_is_last_word(self):
+        masks = _masks_from_deltas([(0, 1)], 2, 4, 16)
+        assert masks[0].tolist() == [0, 0, 0, 0, 0, 1]
+
+    def test_rejects_oversized_plaintext_delta(self):
+        with pytest.raises(DistinguisherError, match="plaintext difference"):
+            _masks_from_deltas([(1 << 32, 0)], 2, 4, 16)
+
+    def test_rejects_oversized_key_delta(self):
+        with pytest.raises(DistinguisherError, match="key difference"):
+            _masks_from_deltas([(0, 1 << 64)], 2, 4, 16)
+
+
+class TestScenarioShape:
+    @pytest.mark.parametrize(
+        "cls,width,feature_bits",
+        [
+            (ToySpeckRelatedKeyScenario, 8, 16),
+            (SpeckRelatedKeyScenario, 16, 32),
+        ],
+    )
+    def test_dimensions(self, cls, width, feature_bits):
+        scenario = cls(rounds=3)
+        assert scenario.input_words == 6
+        assert scenario.output_words == 2
+        assert scenario.word_width == width
+        assert scenario.feature_bits == feature_bits
+        assert scenario.difference_masks.shape == (2, 6)
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(DistinguisherError, match="rounds"):
+            ToySpeckRelatedKeyScenario(rounds=0)
+
+    def test_split_masks(self):
+        scenario = ToySpeckRelatedKeyScenario(rounds=3)
+        plaintext, key = scenario.split_masks()
+        assert plaintext.shape == (2, 2)
+        assert key.shape == (2, 4)
+        assert int(key[1, 3]) == 1  # the pure key-difference class
+
+    def test_explicit_masks_override_deltas(self):
+        masks = np.zeros((2, 6), dtype=np.uint8)
+        masks[0, 0] = 0x80
+        masks[1, 5] = 0x01
+        scenario = ToySpeckRelatedKeyScenario(rounds=3, masks=masks)
+        assert np.array_equal(scenario.difference_masks, masks)
+
+
+class TestDifferentialGame:
+    def test_dataset_generation(self):
+        scenario = ToySpeckRelatedKeyScenario(rounds=3)
+        X, y = scenario.generate_dataset(128, rng=0)
+        assert X.shape == (256, scenario.feature_bits)
+        assert set(np.unique(y)) == {0, 1}
+        assert X.dtype == np.float32
+        assert np.isin(X, (0.0, 1.0)).all()
+
+    def test_key_difference_changes_ciphertext(self):
+        # a pure key difference must actually flip ciphertext bits
+        scenario = ToySpeckRelatedKeyScenario(rounds=3)
+        rng = np.random.default_rng(0)
+        inputs = scenario.sample_base_inputs(64, rng)
+        base = scenario.pipeline(inputs)
+        key_mask = scenario.difference_masks[1]
+        shifted = scenario.pipeline(inputs ^ key_mask)
+        assert np.any(base != shifted)
+
+    def test_zero_key_half_matches_single_key_game(self):
+        # with a zero key difference, both queries use the same key, so
+        # the output difference equals the classic chosen-plaintext one
+        scenario = ToySpeckRelatedKeyScenario(rounds=2)
+        rng = np.random.default_rng(1)
+        inputs = scenario.sample_base_inputs(32, rng)
+        plaintext_mask = scenario.difference_masks[0]
+        assert np.all(plaintext_mask[scenario.block_words:] == 0)
+
+        base = scenario.pipeline(inputs)
+        shifted = scenario.pipeline(inputs ^ plaintext_mask)
+        from repro.ciphers.toyspeck import encrypt_batch
+
+        plain = inputs[:, :2]
+        keys = inputs[:, 2:]
+        expected = encrypt_batch(plain ^ plaintext_mask[:2], keys, 2)
+        assert np.array_equal(shifted, expected)
+        assert np.any(base != shifted)
+
+    def test_distinguisher_compatible(self):
+        from repro.core.distinguisher import MLDistinguisher
+
+        scenario = ToySpeckRelatedKeyScenario(rounds=1)
+        distinguisher = MLDistinguisher(scenario, epochs=2, rng=0)
+        report = distinguisher.train(2000, significance=0.5)
+        assert 0.0 <= report.validation_accuracy <= 1.0
+
+    def test_speck_matches_reference_vector(self):
+        # pipeline() must agree with the SPECK batch API on the halves
+        scenario = SpeckRelatedKeyScenario(rounds=5)
+        rng = np.random.default_rng(2)
+        inputs = scenario.sample_base_inputs(16, rng)
+        from repro.ciphers.speck import encrypt_batch
+
+        expected = encrypt_batch(inputs[:, :2], inputs[:, 2:], 5)
+        assert np.array_equal(scenario.pipeline(inputs), expected)
+
+
+class TestSearchIntegration:
+    def test_bias_oracle_accepts_related_key_masks(self):
+        from repro.search.oracle import BiasScoringOracle
+
+        scenario = ToySpeckRelatedKeyScenario(rounds=2)
+        oracle = BiasScoringOracle(scenario, n_samples=512, rng=0, workers=1)
+        key_delta = np.zeros(6, dtype=np.uint8)
+        key_delta[5] = 1
+        assert oracle.score(key_delta) > 0.0
+
+    def test_fingerprint_distinguishes_key_and_plaintext_difference(self):
+        from repro.core.cache import scenario_fingerprint
+
+        plain = np.zeros((2, 6), dtype=np.uint8)
+        plain[0, 1], plain[1, 0] = 0x40, 0x20
+        keyed = np.zeros((2, 6), dtype=np.uint8)
+        keyed[0, 1], keyed[1, 5] = 0x40, 0x01
+        a = ToySpeckRelatedKeyScenario(rounds=2, masks=plain)
+        b = ToySpeckRelatedKeyScenario(rounds=2, masks=keyed)
+        assert scenario_fingerprint(a) != scenario_fingerprint(b)

@@ -1,0 +1,128 @@
+"""Tests for the bias-scoring oracle of :mod:`repro.search`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.search.config import get_scenario_builder
+from repro.search.oracle import BiasScoringOracle
+
+
+def _toyspeck_oracle(rounds=3, n_samples=1024, workers=1, rng=0):
+    builder = get_scenario_builder("toyspeck")
+    return BiasScoringOracle(
+        builder.prototype(rounds=rounds),
+        n_samples=n_samples,
+        rng=rng,
+        workers=workers,
+    )
+
+
+class TestScoring:
+    def test_score_in_unit_interval(self):
+        oracle = _toyspeck_oracle()
+        score = oracle.score(np.array([0x00, 0x40], dtype=np.uint8))
+        assert 0.0 <= score <= 1.0
+
+    def test_deterministic_under_fixed_seed(self):
+        delta = np.array([0x20, 0x00], dtype=np.uint8)
+        a = _toyspeck_oracle(rng=7).score(delta)
+        b = _toyspeck_oracle(rng=7).score(delta)
+        assert a == b
+
+    def test_seed_changes_samples(self):
+        delta = np.array([0x20, 0x00], dtype=np.uint8)
+        a = _toyspeck_oracle(rng=1, n_samples=256).score(delta)
+        b = _toyspeck_oracle(rng=2, n_samples=256).score(delta)
+        assert a != b
+
+    def test_worker_invariant(self):
+        delta = np.array([0x00, 0x40], dtype=np.uint8)
+        serial = _toyspeck_oracle(workers=1, n_samples=2048).score(delta)
+        sharded = _toyspeck_oracle(workers=4, n_samples=2048).score(delta)
+        assert serial == sharded
+
+    def test_memoised(self):
+        oracle = _toyspeck_oracle()
+        delta = np.array([0x00, 0x40], dtype=np.uint8)
+        first = oracle.score(delta)
+        evaluations = oracle.evaluations
+        second = oracle.score(delta)
+        assert first == second
+        assert oracle.evaluations == evaluations  # cache hit, no new work
+
+    def test_batch_matches_single(self):
+        oracle = _toyspeck_oracle()
+        batch = np.array([[0x00, 0x40], [0x20, 0x00]], dtype=np.uint8)
+        scores = oracle.score_batch(batch)
+        assert scores.shape == (2,)
+        assert scores[0] == oracle.score(batch[0])
+        assert scores[1] == oracle.score(batch[1])
+
+    def test_bias_profile_shape(self):
+        oracle = _toyspeck_oracle()
+        profile = oracle.bias_profile(np.array([0x00, 0x40], dtype=np.uint8))
+        assert profile.shape == (oracle.prototype.feature_bits,)
+        assert np.all((profile >= 0.0) & (profile <= 1.0))
+
+    def test_noise_floor(self):
+        oracle = _toyspeck_oracle(n_samples=1024)
+        assert oracle.noise_floor() == pytest.approx(
+            np.sqrt(2.0 / (np.pi * 1024))
+        )
+
+
+class TestValidation:
+    def test_rejects_zero_difference(self):
+        oracle = _toyspeck_oracle()
+        with pytest.raises(SearchError):
+            oracle.score(np.zeros(2, dtype=np.uint8))
+
+    def test_rejects_wrong_width(self):
+        oracle = _toyspeck_oracle()
+        with pytest.raises(SearchError):
+            oracle.score(np.array([1, 2, 3], dtype=np.uint8))
+
+    def test_rejects_live_generator_seed(self):
+        builder = get_scenario_builder("toyspeck")
+        with pytest.raises(SearchError):
+            BiasScoringOracle(
+                builder.prototype(rounds=3), rng=np.random.default_rng(0)
+            )
+
+
+class TestPaperDifferencesRank:
+    """Satellite: the paper's hand-picked deltas score in the top-k."""
+
+    def test_toyspeck_paper_delta_beats_random_pool(self):
+        # delta1 = 0x0040 (Table: ToySpeck) must rank in the top 25% of
+        # a pool of random same-weight candidates at a low round count.
+        oracle = _toyspeck_oracle(rounds=2, n_samples=2048)
+        paper = np.array([0x00, 0x40], dtype=np.uint8)
+        paper_score = oracle.score(paper)
+        rng = np.random.default_rng(99)
+        pool = []
+        while len(pool) < 32:
+            candidate = np.zeros(2, dtype=np.uint8)
+            word, bit = rng.integers(0, 2), rng.integers(0, 8)
+            candidate[word] = np.uint8(1 << bit)
+            if candidate.tobytes() != paper.tobytes():
+                pool.append(oracle.score(candidate))
+        better = sum(1 for s in pool if s > paper_score)
+        assert paper_score > oracle.noise_floor()
+        assert better <= len(pool) // 4
+
+    def test_gimli_hash_paper_delta_above_noise(self):
+        # The paper flips the LSBs of message bytes 4 and 12; at a low
+        # round count both must produce bias the oracle can see.
+        builder = get_scenario_builder("gimli-hash")
+        oracle = BiasScoringOracle(
+            builder.prototype(rounds=2), n_samples=512, rng=0, workers=1
+        )
+        byte4 = np.array([0, 1, 0, 0], dtype=np.uint32)
+        byte12 = np.array([0, 0, 0, 1], dtype=np.uint32)
+        floor = oracle.noise_floor()
+        assert oracle.score(byte4) > floor
+        assert oracle.score(byte12) > floor

@@ -1,0 +1,207 @@
+"""Tests for the declarative scenario config, pipeline and CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.search.config import (
+    SCENARIO_BUILDERS,
+    ScenarioBuilder,
+    ScenarioSpec,
+    get_scenario_builder,
+    register_scenario_builder,
+)
+from repro.search.pipeline import run_search, run_search_pipeline
+
+FAST_SEARCH = {
+    "population_size": 12,
+    "generations": 2,
+    "elite": 4,
+    "n_samples": 512,
+    "seed": 0,
+}
+FAST_TRAIN = {
+    "num_samples": 2000,
+    "epochs": 2,
+    "hidden": [16],
+    "seed": 0,
+    "significance": 0.2,
+}
+
+
+def _spec(**overrides):
+    raw = {
+        "name": "toyspeck-test",
+        "scenario": "toyspeck",
+        "params": {"rounds": 2},
+        "search": dict(FAST_SEARCH),
+        "train": dict(FAST_TRAIN),
+    }
+    raw.update(overrides)
+    return ScenarioSpec.from_dict(raw)
+
+
+class TestScenarioSpec:
+    def test_minimal_with_differences(self):
+        spec = ScenarioSpec.from_dict(
+            {"scenario": "toyspeck", "differences": [[0x00, 0x40], [0x20, 0x00]]}
+        )
+        assert spec.name == "toyspeck"
+        assert spec.differences.shape == (2, 2)
+        assert spec.search is None
+
+    def test_requires_differences_or_search(self):
+        with pytest.raises(SearchError, match="differences"):
+            ScenarioSpec.from_dict({"scenario": "toyspeck"})
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SearchError, match="unknown scenario"):
+            ScenarioSpec.from_dict({"scenario": "nope", "search": {}})
+
+    def test_rejects_unknown_top_level_key(self):
+        with pytest.raises(SearchError, match="unknown scenario-config keys"):
+            ScenarioSpec.from_dict(
+                {"scenario": "toyspeck", "search": {}, "bogus": 1}
+            )
+
+    def test_rejects_unknown_search_key(self):
+        with pytest.raises(SearchError, match="unknown search keys"):
+            ScenarioSpec.from_dict(
+                {"scenario": "toyspeck", "search": {"pop": 4}}
+            )
+
+    def test_rejects_unknown_train_key(self):
+        with pytest.raises(SearchError, match="unknown train keys"):
+            ScenarioSpec.from_dict(
+                {"scenario": "toyspeck", "search": {}, "train": {"lr": 0.1}}
+            )
+
+    def test_rejects_1d_differences(self):
+        with pytest.raises(SearchError, match="2-D"):
+            ScenarioSpec.from_dict(
+                {"scenario": "toyspeck", "differences": [1, 2]}
+            )
+
+    def test_from_json_roundtrip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps({"scenario": "toyspeck", "search": FAST_SEARCH})
+        )
+        spec = ScenarioSpec.from_json(str(path))
+        assert spec.scenario == "toyspeck"
+
+    def test_from_json_missing_file(self, tmp_path):
+        with pytest.raises(SearchError, match="no scenario config"):
+            ScenarioSpec.from_json(str(tmp_path / "nope.json"))
+
+    def test_builder_registry_rejects_duplicates(self):
+        builder = SCENARIO_BUILDERS["toyspeck"]
+        with pytest.raises(SearchError, match="already registered"):
+            register_scenario_builder(builder)
+
+    def test_every_builder_has_working_prototype(self):
+        for name in SCENARIO_BUILDERS:
+            prototype = get_scenario_builder(name).prototype()
+            assert prototype.difference_masks.ndim == 2, name
+            assert prototype.num_classes >= 2, name
+
+
+class TestRunSearch:
+    def test_search_stage_alone(self):
+        result = run_search(_spec())
+        assert result.ranked_masks.shape[0] >= 2
+        assert result.best_score > 0
+
+    def test_spec_without_search_section_raises(self):
+        spec = ScenarioSpec.from_dict(
+            {"scenario": "toyspeck", "differences": [[0x00, 0x40], [0x20, 0x00]]}
+        )
+        with pytest.raises(SearchError, match="no 'search' section"):
+            run_search(spec)
+
+
+class TestPipeline:
+    def test_fixed_differences_skip_search(self):
+        spec = ScenarioSpec.from_dict(
+            {
+                "name": "fixed",
+                "scenario": "toyspeck",
+                "params": {"rounds": 2},
+                "differences": [[0x00, 0x40], [0x20, 0x00]],
+                "train": dict(FAST_TRAIN),
+            }
+        )
+        summary = run_search_pipeline(spec)
+        assert summary["search"] is None
+        assert summary["differences"] == [[0x00, 0x40], [0x20, 0x00]]
+        assert 0.0 <= summary["training"]["validation_accuracy"] <= 1.0
+
+    def test_search_then_train_then_register(self, tmp_path):
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry(str(tmp_path / "registry"))
+        summary = run_search_pipeline(_spec(), registry=registry)
+        assert summary["search"] is not None
+        assert "model_id" in summary
+
+        record = registry.resolve("toyspeck-test")
+        manifest = record.manifest
+        # the manifest records the discovered difference set
+        assert manifest["search"]["ranked_differences"]
+        assert manifest["scenario"]["input_differences"] == summary["differences"]
+        assert record.summary()["searched"] is True
+
+        model, _record = registry.load("toyspeck-test")
+        probe = np.zeros((3, manifest["input_shape"][0]), dtype=np.float32)
+        assert model.forward(probe).shape == (3, 2)
+
+
+class TestCLI:
+    def test_search_only_json(self, capsys):
+        from repro.search.__main__ import main
+
+        code = main(
+            [
+                "--scenario", "toyspeck", "--rounds", "2",
+                "--population", "12", "--generations", "2",
+                "--samples", "512", "--seed", "0",
+                "--search-only", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "evolutionary-bias"
+        assert len(payload["ranked_differences"]) >= 2
+
+    def test_config_file_end_to_end(self, tmp_path, capsys):
+        from repro.search.__main__ import main
+
+        config = {
+            "name": "cli-e2e",
+            "scenario": "toyspeck",
+            "params": {"rounds": 2},
+            "search": FAST_SEARCH,
+            "train": FAST_TRAIN,
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(config))
+        code = main(
+            [str(path), "--registry", str(tmp_path / "reg"), "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model_id"]
+        assert payload["search"]["ranked_differences"]
+
+    def test_error_reported_not_raised(self, tmp_path, capsys):
+        from repro.search.__main__ import main
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"scenario": "nope", "search": {}}))
+        code = main([str(path), "--search-only"])
+        assert code == 1
+        assert "unknown scenario" in capsys.readouterr().err
