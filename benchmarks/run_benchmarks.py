@@ -50,6 +50,7 @@ SCRIPT_SUITES = {
     "obs": BENCH_DIR / "bench_obs.py",
     "quant": BENCH_DIR / "bench_quant.py",
     "search": BENCH_DIR / "bench_search.py",
+    "jobs": BENCH_DIR / "bench_jobs.py",
 }
 
 ALL_SUITES = {**SUITES, **SCRIPT_SUITES}

@@ -26,6 +26,7 @@ from repro.ciphers.gift import (
     encrypt_batch as gift64_encrypt_batch,
 )
 from repro.ciphers.salsa import SalsaPermutation
+from repro.ciphers.toygift import ToyGift
 from repro.ciphers.trivium import IV_BITS, KEY_BITS, Trivium
 from repro.core.scenario import DifferentialScenario
 from repro.errors import DistinguisherError
@@ -78,18 +79,29 @@ class TriviumScenario(DifferentialScenario):
         warmup: int = 384,
         diff_bits: Sequence[int] = (0, 40),
         output_bits: int = 64,
+        masks: Optional[np.ndarray] = None,
     ):
         if output_bits <= 0 or output_bits % 8:
             raise DistinguisherError(
                 f"output_bits must be a positive multiple of 8, got {output_bits}"
             )
-        masks = np.zeros((len(diff_bits), 10), dtype=np.uint8)
-        for row, bit in enumerate(diff_bits):
-            if not 0 <= bit < IV_BITS:
+        if masks is not None:
+            # The whole 80-bit IV is attacker-chosen, so any byte
+            # pattern is a legal difference — the search layer hands
+            # multi-bit masks through here.
+            masks = np.asarray(masks, dtype=np.uint8)
+            if masks.ndim != 2 or masks.shape[1] != 10:
                 raise DistinguisherError(
-                    f"IV difference bit {bit} outside [0, {IV_BITS})"
+                    f"Trivium masks must have shape (t, 10), got {masks.shape}"
                 )
-            masks[row, bit // 8] = 1 << (bit % 8)
+        else:
+            masks = np.zeros((len(diff_bits), 10), dtype=np.uint8)
+            for row, bit in enumerate(diff_bits):
+                if not 0 <= bit < IV_BITS:
+                    raise DistinguisherError(
+                        f"IV difference bit {bit} outside [0, {IV_BITS})"
+                    )
+                masks[row, bit // 8] = 1 << (bit % 8)
         self.output_words = output_bits // 8
         super().__init__(masks)
         self.trivium = Trivium(warmup)
@@ -214,3 +226,54 @@ class Gift16Scenario(DifferentialScenario):
         if context is None:
             raise DistinguisherError("Gift16Scenario needs per-sample round keys")
         return self.cipher.encrypt(inputs, context)
+
+
+class ToyGiftScenario(DifferentialScenario):
+    """Chosen-difference game on the Figure 1 toy cipher (§2.1).
+
+    The 8-bit, 2-round, *unkeyed* ToyGift is the paper's didactic
+    non-Markov example; as a scenario it is the smallest possible
+    search target — 255 candidate differences, exhaustively coverable —
+    which makes it the canonical smoke-test family for the search
+    pipeline.  Being unkeyed, the cipher is a fixed 8-bit permutation:
+    the whole pipeline is one 256-entry lookup table, so dataset
+    generation is a single vectorised gather.
+    """
+
+    input_words = 1
+    output_words = 1
+    word_width = 8
+
+    def __init__(
+        self,
+        deltas: Sequence[int] = (0x23, 0x01),
+        masks: Optional[np.ndarray] = None,
+        wiring: Optional[Sequence[int]] = None,
+    ):
+        if masks is not None:
+            masks = np.asarray(masks, dtype=np.uint8)
+            if masks.ndim != 2 or masks.shape[1] != 1:
+                raise DistinguisherError(
+                    f"ToyGift masks must have shape (t, 1), got {masks.shape}"
+                )
+        else:
+            masks = np.zeros((len(deltas), 1), dtype=np.uint8)
+            for row, delta in enumerate(deltas):
+                if not 0 < delta < 256:
+                    raise DistinguisherError(
+                        f"ToyGift difference must be a non-zero 8-bit value, "
+                        f"got {delta:#x}"
+                    )
+                masks[row, 0] = delta
+        super().__init__(masks)
+        toy = ToyGift(wiring)
+        self._table = np.array(
+            [toy.encrypt(value) for value in range(256)], dtype=np.uint8
+        )
+
+    def sample_base_inputs(self, n, rng):
+        return rng.integers(0, 256, size=(n, 1), dtype=np.uint8)
+
+    def pipeline(self, inputs, context=None):
+        del context  # unkeyed: the permutation is public and fixed
+        return self._table[np.asarray(inputs, dtype=np.uint8)]

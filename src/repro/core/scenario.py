@@ -240,20 +240,38 @@ class GimliCipherScenario(DifferentialScenario):
     one empty padded associated-data block, zero first message block.
     ``total_rounds`` is the combined round budget of the two
     permutation calls before ``c0`` (split ceil/floor — see DESIGN.md).
+
+    ``masks`` hands the ``(t, 4)`` nonce-difference words directly
+    (mutually exclusive with ``diff_bytes``) — the whole 16-byte nonce
+    is attacker-controlled, so any bit pattern is a legal difference.
+    This is the hook the search layer's declarative builders use.
     """
 
     input_words = 4
     output_words = 4
 
-    def __init__(self, total_rounds: int = 8, diff_bytes: Sequence[int] = (4, 12)):
-        masks = np.zeros((len(diff_bytes), 4), dtype=np.uint32)
-        for row, byte in enumerate(diff_bytes):
-            if not 0 <= byte < 16:
+    def __init__(
+        self,
+        total_rounds: int = 8,
+        diff_bytes: Sequence[int] = (4, 12),
+        masks: Optional[np.ndarray] = None,
+    ):
+        if masks is not None:
+            masks = np.asarray(masks, dtype=np.uint32)
+            if masks.ndim != 2 or masks.shape[1] != 4:
                 raise DistinguisherError(
-                    f"nonce difference byte {byte} outside the 16-byte nonce"
+                    f"Gimli-Cipher masks must have shape (t, 4), got "
+                    f"{masks.shape}"
                 )
-            word, mask = _byte_flip_mask(byte)
-            masks[row, word] = mask
+        else:
+            masks = np.zeros((len(diff_bytes), 4), dtype=np.uint32)
+            for row, byte in enumerate(diff_bytes):
+                if not 0 <= byte < 16:
+                    raise DistinguisherError(
+                        f"nonce difference byte {byte} outside the 16-byte nonce"
+                    )
+                word, mask = _byte_flip_mask(byte)
+                masks[row, word] = mask
         super().__init__(masks)
         self.total_rounds = int(total_rounds)
 

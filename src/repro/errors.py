@@ -72,3 +72,14 @@ class ServeTimeout(ServeError):
 
 class ExperimentError(ReproError):
     """Unknown experiment id or invalid experiment configuration."""
+
+
+class JobError(ReproError):
+    """Job-queue misuse or failure (:mod:`repro.jobs`).
+
+    Raised when a queue directory is bound to different run arguments
+    than the caller's, when a job record is malformed, or when a run
+    finishes with cells that failed terminally or were never processed
+    (an interrupted run) — the message says which, and resuming with the
+    same queue directory picks up exactly the unfinished cells.
+    """

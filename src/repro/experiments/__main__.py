@@ -7,22 +7,40 @@ Examples::
     python -m repro.experiments table3 --seed 7
     python -m repro.experiments all
     python -m repro.experiments table2 --run-dir runs/  # result + manifest
+    python -m repro.experiments table2 --resume runs/r1 # resumable grid
+    python -m repro.experiments report --run-dir runs/r1  # re-render report
 
 ``--run-dir`` saves each experiment's result JSON next to a run
 manifest (per-cell spans, REPRO_* knobs, timings); see
 :mod:`repro.experiments.manifest`.
+
+``--resume DIR`` routes every grid cell through the persistent job
+queue under ``DIR/queue/<name>`` (see :mod:`repro.jobs`): the first
+invocation creates it, a re-run after a crash or a
+``REPRO_JOBS_MAX_CELLS`` cap skips completed cells and computes only
+the missing ones, bit-identical to an uninterrupted run.  ``DIR`` also
+serves as the run directory for the manifest and the run report unless
+``--run-dir`` says otherwise.
+
+Both ``--run-dir`` and ``--resume`` finish by rendering an HTML +
+markdown run report (per-cell status, timings, paper-layout accuracy
+tables); the pseudo-experiment ``report`` re-renders it on demand from
+whatever state the directory holds — including a partially-completed
+run.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments.manifest import run_with_manifest
 from repro.experiments.registry import EXPERIMENTS, run_experiment
-from repro.experiments.report import format_table
+from repro.experiments.report import format_table, write_run_report
 
 
 def _print_result(result: dict) -> None:
@@ -43,8 +61,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="experiment to run ('all' runs every registered experiment)",
+        choices=sorted(EXPERIMENTS) + ["all", "report"],
+        help="experiment to run ('all' runs every registered experiment; "
+        "'report' just re-renders the run report for --run-dir/--resume)",
     )
     parser.add_argument("--seed", type=int, default=None, help="RNG seed")
     parser.add_argument(
@@ -53,24 +72,46 @@ def main(argv=None) -> int:
         help="save <name>_result.json and a <name>_manifest.json "
         "(per-cell spans, REPRO_* knobs) into this directory",
     )
+    parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="run resumably: persist every grid cell as a job under "
+        "DIR/queue/<name>, skipping cells already completed by an "
+        "earlier (possibly interrupted) invocation",
+    )
     args = parser.parse_args(argv)
+
+    run_dir = args.run_dir if args.run_dir is not None else args.resume
+    if args.experiment == "report":
+        if run_dir is None:
+            parser.error("'report' needs --run-dir or --resume")
+        paths = write_run_report(run_dir)
+        for path in paths:
+            print(f"[report] wrote {path}")
+        return 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.perf_counter()
+        fn = EXPERIMENTS[name]
+        accepted = inspect.signature(fn).parameters
         kwargs = {}
-        if args.seed is not None and name not in ("figure1", "complexity"):
+        if args.seed is not None and "rng" in accepted:
             kwargs["rng"] = args.seed
-        if args.run_dir is not None:
-            result, manifest_path = run_with_manifest(
-                name, args.run_dir, **kwargs
-            )
+        if args.resume is not None and "queue_dir" in accepted:
+            kwargs["queue_dir"] = str(Path(args.resume) / "queue" / name)
+        if run_dir is not None:
+            result, manifest_path = run_with_manifest(name, run_dir, **kwargs)
             print(f"[{name}] wrote {manifest_path}")
         else:
             result = run_experiment(name, **kwargs)
         _print_result(result)
         print(f"[{name} finished in {time.perf_counter() - start:.1f}s]")
         print()
+    if run_dir is not None:
+        for path in write_run_report(run_dir):
+            print(f"[report] wrote {path}")
     return 0
 
 

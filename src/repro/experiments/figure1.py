@@ -16,10 +16,37 @@ from repro.ciphers.gift import GIFT_SBOX
 from repro.ciphers.toygift import PAPER_TRAIL, ToyGift, default_wiring
 from repro.diffcrypt.markov import figure1_demonstration, markov_violation_toygift
 from repro.diffcrypt.sbox import SBox
+from repro.jobs import bind_run, run_cells
 
 
-def run_figure1() -> Dict:
-    """Regenerate the Figure 1 discussion (all numbers re-derived)."""
+def _run_figure1_cell(payload: Dict) -> Dict:
+    """The whole (deterministic) derivation as one grid cell."""
+    return _figure1_body()
+
+
+def run_figure1(queue_dir=None) -> Dict:
+    """Regenerate the Figure 1 discussion (all numbers re-derived).
+
+    The derivation is exhaustive and deterministic — no seeds — so the
+    experiment is a single job; ``queue_dir`` still routes it through
+    :mod:`repro.jobs` so a run directory's queue state covers every
+    experiment uniformly.
+    """
+    if queue_dir is None:
+        return _figure1_body()
+    bind_run(queue_dir, "figure1", {}, 0)
+    (result,) = run_cells(
+        _run_figure1_cell,
+        [{}],
+        specs=[{"experiment": "figure1"}],
+        workers=None,
+        label="figure1",
+        queue_dir=queue_dir,
+    )
+    return result
+
+
+def _figure1_body() -> Dict:
     sbox = SBox(GIFT_SBOX)
     demo = figure1_demonstration()
     dy1 = PAPER_TRAIL["delta_y1"]

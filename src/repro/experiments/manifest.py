@@ -9,12 +9,18 @@
     <name>_manifest.json   run metadata + per-cell spans
 
 The manifest carries the experiment name, wall-clock start/duration,
-the scalar keyword arguments, every ``REPRO_*`` environment knob, the
-Python/platform fingerprint, and the span list (name, start, duration,
-parent, attrs) — enough to compare two runs of the same table without
-re-deriving anything from logs.  Tracing is enabled for the duration of
-the call if it was not already on; spans collected *before* the call
-are untouched.
+the scalar keyword arguments, the requested *and* resolved worker
+count, every ``REPRO_*`` environment knob, the Python/platform
+fingerprint, the span list (name, start, duration, parent, attrs) and a
+``cells`` digest (one wall-clock entry per ``*.cell`` span) — enough to
+compare two runs of the same table without re-deriving anything from
+logs.  Tracing is enabled for the duration of the call if it was not
+already on; spans collected *before* the call are untouched.
+
+Both files are written atomically (temp file + rename), so a run
+directory never holds a truncated result — even when the process is
+killed mid-write, which is exactly when a resumable run directory is
+read back.
 
 ``python -m repro.experiments <name> --run-dir DIR`` routes through
 this module.
@@ -27,12 +33,15 @@ import os
 import platform
 import time
 from pathlib import Path
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
+from repro.core.parallel import resolve_workers
+from repro.jobs import atomic_write_text
 from repro.obs import trace
 
 #: Manifest schema version, bumped on incompatible layout changes.
-MANIFEST_VERSION = 1
+#: v2: atomic writes, ``workers`` (requested/resolved), ``cells``.
+MANIFEST_VERSION = 2
 
 
 def _scalar_args(kwargs: Dict) -> Dict:
@@ -72,6 +81,63 @@ def _compute_manifest() -> Dict:
     }
 
 
+def _cell_digest(spans: List[Dict], queue_dir=None) -> List[Dict]:
+    """Per-cell wall-clock entries for this run.
+
+    Primary source: the run's ``*.cell`` spans, one per grid cell that
+    executed in this process.  Cells dispatched to pool workers trace in
+    the *worker's* buffer (lost to the parent), so a queued run falls
+    back to the queue's job records, whose ``duration_s`` is the same
+    wall-clock measured inside the worker — and also covers cells
+    completed by *earlier* invocations of a resumed run.
+    """
+    cells = []
+    for record in spans:
+        if not record.get("name", "").endswith(".cell"):
+            continue
+        cells.append(
+            {
+                "span": record["name"],
+                "attrs": record.get("attrs", {}),
+                "wall_clock_s": record["dur_us"] / 1e6,
+                "started_us": record["start_us"],
+            }
+        )
+    if cells or queue_dir is None:
+        return cells
+    from repro.jobs import JobQueue
+
+    for record in JobQueue(queue_dir).jobs():
+        if record.get("duration_s") is None:
+            continue
+        spec = record.get("spec") or {}
+        cells.append(
+            {
+                "span": "queue.job",
+                "attrs": {
+                    key: value
+                    for key, value in spec.items()
+                    if key not in ("experiment", "seed") and value is not None
+                },
+                "wall_clock_s": record["duration_s"],
+                "status": record.get("status"),
+                "attempts": record.get("attempts"),
+            }
+        )
+    return cells
+
+
+def _worker_manifest(kwargs: Dict) -> Dict:
+    """Requested vs machine-resolved worker count for this run."""
+    from repro.experiments.config import get_workers
+
+    requested = kwargs.get("workers", get_workers())
+    return {
+        "requested": requested,
+        "resolved": resolve_workers(requested),
+    }
+
+
 def run_with_manifest(name: str, run_dir, **kwargs) -> Tuple[Dict, Path]:
     """Run experiment ``name`` and write result + manifest into ``run_dir``.
 
@@ -97,8 +163,8 @@ def run_with_manifest(name: str, run_dir, **kwargs) -> Tuple[Dict, Path]:
         if not was_enabled:
             trace.disable()
     result_path = run_dir / f"{name}_result.json"
-    result_path.write_text(
-        json.dumps(result, indent=2, default=str) + "\n"
+    atomic_write_text(
+        result_path, json.dumps(result, indent=2, default=str) + "\n"
     )
     manifest = {
         "manifest_version": MANIFEST_VERSION,
@@ -106,6 +172,7 @@ def run_with_manifest(name: str, run_dir, **kwargs) -> Tuple[Dict, Path]:
         "started_unix": round(started_unix, 3),
         "duration_s": duration,
         "args": _scalar_args(kwargs),
+        "workers": _worker_manifest(kwargs),
         "env": _repro_env(),
         "compute": _compute_manifest(),
         "platform": {
@@ -114,11 +181,12 @@ def run_with_manifest(name: str, run_dir, **kwargs) -> Tuple[Dict, Path]:
             "system": platform.system(),
         },
         "result_file": result_path.name,
+        "cells": _cell_digest(spans, queue_dir=kwargs.get("queue_dir")),
         "spans": spans,
         "dropped_spans": trace.dropped_spans(),
     }
     manifest_path = run_dir / f"{name}_manifest.json"
-    manifest_path.write_text(
-        json.dumps(manifest, indent=2, default=str) + "\n"
+    atomic_write_text(
+        manifest_path, json.dumps(manifest, indent=2, default=str) + "\n"
     )
     return result, manifest_path

@@ -22,7 +22,6 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.ciphers.gimli import gimli_permute_batch
-from repro.core.parallel import run_grid
 from repro.diffcrypt.trail import GIMLI_OPTIMAL_WEIGHTS, DifferentialTrail
 from repro.diffcrypt.trail_search import (
     beam_search_trail,
@@ -30,6 +29,7 @@ from repro.diffcrypt.trail_search import (
     find_weight_zero_trails,
 )
 from repro.experiments.config import get_workers
+from repro.jobs import bind_run, run_cells
 from repro.obs.trace import span
 from repro.utils.rng import derive_rng, make_rng, random_words
 
@@ -105,6 +105,7 @@ def run_table1(
     verify_samples: int = 1 << 13,
     rng=None,
     workers: Optional[int] = None,
+    queue_dir=None,
 ) -> Dict:
     """Regenerate Table 1's rows: designers' weight vs exhibited weight.
 
@@ -117,10 +118,27 @@ def run_table1(
     generator is derived per searched round *before* dispatch — not
     consumed sequentially as rows complete — so the Monte-Carlo
     estimates are identical for every worker count.
+
+    ``queue_dir`` makes the grid resumable through :mod:`repro.jobs`
+    (``rng`` must then be an integer seed or ``None``; the seed is
+    pinned in the queue).
     """
+    if queue_dir is not None:
+        rng = bind_run(
+            queue_dir,
+            "table1",
+            {
+                "max_search_rounds": max_search_rounds,
+                "beam_width": beam_width,
+                "variants": variants,
+                "verify_samples": verify_samples,
+            },
+            rng,
+        )
     generator = make_rng(rng)
     workers = workers if workers is not None else get_workers()
     payloads = []
+    specs = []
     for rounds in sorted(GIMLI_OPTIMAL_WEIGHTS):
         search = rounds <= max_search_rounds
         payloads.append(
@@ -136,5 +154,19 @@ def run_table1(
                 ),
             }
         )
-    rows = run_grid(_run_table1_cell, payloads, workers=workers, label="table1")
+        specs.append(
+            {
+                "experiment": "table1",
+                "rounds": rounds,
+                "search": search,
+                "beam_width": beam_width,
+                "variants": variants,
+                "verify_samples": verify_samples,
+                "seed": rng if queue_dir is not None else None,
+            }
+        )
+    rows = run_cells(
+        _run_table1_cell, payloads, specs=specs, workers=workers,
+        label="table1", queue_dir=queue_dir,
+    )
     return {"experiment": "table1", "rows": rows}

@@ -21,10 +21,10 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.core.distinguisher import MLDistinguisher
-from repro.core.parallel import run_grid
 from repro.core.scenario import GimliCipherScenario, GimliHashScenario
 from repro.errors import DistinguisherAborted
 from repro.experiments.config import default_scale, get_dtype, get_workers
+from repro.jobs import bind_run, run_cells
 from repro.nn.architectures import mlp_ii
 from repro.obs.trace import span
 from repro.utils.rng import derive_rng, make_rng
@@ -126,6 +126,7 @@ def run_table2(
     rng=None,
     workers: Optional[int] = None,
     dtype: Optional[str] = None,
+    queue_dir=None,
 ) -> Dict:
     """Regenerate Table 2 (accuracy per round count and target).
 
@@ -146,6 +147,12 @@ def run_table2(
     Cells inside pool workers generate their datasets with one sharded
     worker (daemonic processes cannot fork grandchildren); sharded
     generation is worker-count-invariant, so this doesn't change rows.
+
+    ``queue_dir`` makes the grid resumable: every cell becomes a
+    persistent job (see :mod:`repro.jobs`), completed cells are skipped
+    on re-runs, and the seed is pinned in the queue so an interrupted +
+    resumed grid returns rows bit-identical to an uninterrupted one.
+    ``rng`` must then be an integer seed or ``None``.
     """
     scale = default_scale()
     offline = offline_samples if offline_samples is not None else scale.offline_samples
@@ -153,11 +160,27 @@ def run_table2(
     n_epochs = epochs if epochs is not None else scale.table2_epochs
     workers = workers if workers is not None else get_workers()
     dtype = dtype if dtype is not None else get_dtype()
+    if queue_dir is not None:
+        rng = bind_run(
+            queue_dir,
+            "table2",
+            {
+                "rounds": list(rounds),
+                "targets": list(targets),
+                "offline_samples": offline_samples,
+                "online_samples": online_samples,
+                "epochs": epochs,
+                "run_online": run_online,
+                "dtype": dtype,
+            },
+            rng,
+        )
     generator = make_rng(rng)
     # ``workers=None`` keeps the legacy single-stream dataset path;
     # any integer switches every cell to the sharded generator.
     data_workers = None if workers is None else 1
     payloads = []
+    specs = []
     for target in targets:
         if target not in ("hash", "cipher"):
             raise ValueError(
@@ -191,7 +214,23 @@ def run_table2(
                     "dtype": dtype,
                 }
             )
-    rows = run_grid(_run_table2_cell, payloads, workers=workers, label="table2")
+            specs.append(
+                {
+                    "experiment": "table2",
+                    "target": target,
+                    "rounds": r,
+                    "offline_samples": row_offline,
+                    "online_samples": row_online if run_online else None,
+                    "epochs": row_epochs,
+                    "run_online": run_online,
+                    "dtype": dtype,
+                    "seed": rng if queue_dir is not None else None,
+                }
+            )
+    rows = run_cells(
+        _run_table2_cell, payloads, specs=specs, workers=workers,
+        label="table2", queue_dir=queue_dir,
+    )
     return {
         "experiment": "table2",
         "offline_samples": offline,

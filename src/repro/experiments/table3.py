@@ -12,9 +12,9 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional, Sequence
 
-from repro.core.parallel import run_grid
 from repro.core.scenario import GimliCipherScenario
 from repro.experiments.config import default_scale, get_dtype, get_workers
+from repro.jobs import bind_run, run_cells
 from repro.nn.architectures import (
     TABLE3_NETWORKS,
     TABLE3_PAPER_ACCURACY,
@@ -74,6 +74,7 @@ def run_table3(
     rng=None,
     workers: Optional[int] = None,
     dtype: Optional[str] = None,
+    queue_dir=None,
 ) -> Dict:
     """Regenerate Table 3: per-network parameters, training time, accuracy.
 
@@ -88,6 +89,12 @@ def run_table3(
     is derived up front in list order, so every worker count — and the
     historical serial runner — produces identical rows (modulo the
     wall-clock ``training_time_s``).
+
+    ``queue_dir`` makes the grid resumable through :mod:`repro.jobs`:
+    the shared dataset is regenerated from the pinned seed on every
+    invocation (cheap via the dataset cache), completed networks replay
+    from disk, and only the missing cells train.  ``rng`` must then be
+    an integer seed or ``None``.
     """
     scale = default_scale()
     n_samples = num_samples if num_samples is not None else scale.table3_samples
@@ -95,6 +102,20 @@ def run_table3(
     names = list(networks) if networks is not None else list(TABLE3_NETWORKS)
     workers = workers if workers is not None else get_workers()
     dtype = dtype if dtype is not None else get_dtype()
+    if queue_dir is not None:
+        rng = bind_run(
+            queue_dir,
+            "table3",
+            {
+                "networks": names,
+                "total_rounds": total_rounds,
+                "num_samples": num_samples,
+                "epochs": epochs,
+                "batch_size": batch_size,
+                "dtype": dtype,
+            },
+            rng,
+        )
     generator = make_rng(rng)
 
     scenario = GimliCipherScenario(total_rounds=total_rounds)
@@ -121,7 +142,23 @@ def run_table3(
         }
         for name in names
     ]
-    rows = run_grid(_run_table3_cell, payloads, workers=workers, label="table3")
+    specs = [
+        {
+            "experiment": "table3",
+            "network": name,
+            "total_rounds": total_rounds,
+            "num_samples": x.shape[0],
+            "epochs": n_epochs,
+            "batch_size": batch_size,
+            "dtype": dtype,
+            "seed": rng if queue_dir is not None else None,
+        }
+        for name in names
+    ]
+    rows = run_cells(
+        _run_table3_cell, payloads, specs=specs, workers=workers,
+        label="table3", queue_dir=queue_dir,
+    )
     return {
         "experiment": "table3",
         "num_samples": x.shape[0],

@@ -30,7 +30,10 @@ instrumented run is bit-identical to a bare one.
 from __future__ import annotations
 
 import json
+import os
+import queue as queue_mod
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -68,6 +71,192 @@ def _layer_class(name: str):
         if isinstance(cls, type) and issubclass(cls, Layer):
             return cls
     raise LayerError(f"unknown layer class {name!r} in saved model")
+
+
+#: Rows per gradient shard in data-parallel training.  The shard plan is
+#: a function of the batch size alone — never of the worker count — so
+#: ``fit(data_parallel=N)`` is bit-identical for every ``N``; changing
+#: this constant changes the shard boundaries and hence the (still
+#: deterministic) floating-point reduction order.
+DATA_PARALLEL_SHARD_ROWS = 64
+
+
+def data_parallel_from_env() -> Optional[int]:
+    """Read ``REPRO_DATA_PARALLEL`` (unset -> ``None``: plain fit path)."""
+    raw = os.environ.get("REPRO_DATA_PARALLEL", "")
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise TrainingError(
+            f"REPRO_DATA_PARALLEL must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise TrainingError(
+            f"REPRO_DATA_PARALLEL must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _tree_reduce(values):
+    """Sum ``values`` with a balanced pairwise tree.
+
+    The reduction order is a function of ``len(values)`` alone, so the
+    floating-point result is identical no matter how many workers
+    produced the elements — the same guarantee
+    :mod:`repro.core.parallel` gives dataset shards.
+    """
+    values = list(values)
+    while len(values) > 1:
+        paired = [
+            values[i] + values[i + 1] for i in range(0, len(values) - 1, 2)
+        ]
+        if len(values) % 2:
+            paired.append(values[-1])
+        values = paired
+    return values[0]
+
+
+class _DataParallel:
+    """Shard-gradient training steps for :meth:`Sequential.fit`.
+
+    Each mini-batch is cut into fixed-size shards
+    (:data:`DATA_PARALLEL_SHARD_ROWS` rows, worker-count independent).
+    Every shard runs a full forward/backward pass on a model replica —
+    the replicas *share* the master's parameter arrays (reads only;
+    the sole writer is the optimizer, which runs after all shards
+    finish) but own their activation caches and gradient buffers, so
+    ``workers`` shards can proceed concurrently in threads (numpy/BLAS
+    release the GIL on the heavy kernels).  Shard gradients are scaled
+    to batch-sum contributions and combined with :func:`_tree_reduce`
+    in shard order; the single optimizer update then runs on the master.
+
+    Because the shard plan, the per-shard arithmetic and the reduction
+    tree are all independent of ``workers``, the trained parameters are
+    **bit-identical for any worker count** — pinned in
+    ``tests/test_nn_data_parallel.py``.
+    """
+
+    def __init__(self, model: "Sequential", workers: int):
+        if workers < 1:
+            raise TrainingError(
+                f"data_parallel must be >= 1, got {workers}"
+            )
+        self.model = model
+        self.workers = int(workers)
+        self.fused = model._fused_softmax_cce()
+        self.stochastic = any(layer.stochastic for layer in model.layers)
+        self.master_params, self.master_grads = model._gather()
+        # Replica 0 is the master itself; clones cover the rest.  A
+        # replica is only ever used by one shard at a time (exclusive
+        # checkout from ``self.pool``).
+        replicas = [model]
+        for _ in range(self.workers - 1):
+            replicas.append(self._clone_replica())
+        self.pool: "queue_mod.Queue" = queue_mod.Queue()
+        for replica in replicas:
+            self.pool.put(replica)
+        self.executor = (
+            ThreadPoolExecutor(max_workers=self.workers)
+            if self.workers > 1
+            else None
+        )
+
+    def _clone_replica(self) -> "Sequential":
+        model = self.model
+        clone = Sequential(
+            [
+                _layer_class(layer.name)(**layer.get_config())
+                for layer in model.layers
+            ]
+        )
+        clone.dtype = model.dtype
+        clone.backend = model.backend
+        clone.loss = model.loss  # losses are stateless value/grad maps
+        clone.build(model.input_shape, rng=0)
+        # Share the master's parameter arrays: replicas only read them
+        # during shard passes, and the optimizer's in-place update is
+        # then visible to every replica with no per-step copying.
+        offset = 0
+        for layer in clone.layers:
+            if not layer.trainable:
+                continue
+            for j in range(len(layer.params)):
+                layer.params[j] = self.master_params[offset]
+                offset += 1
+        assert offset == len(self.master_params)
+        return clone
+
+    def close(self) -> None:
+        if self.executor is not None:
+            self.executor.shutdown(wait=True)
+
+    def _shard_pass(self, xb, yb, n_total, rng):
+        """One shard's forward/backward on an exclusively-held replica."""
+        replica = self.pool.get()
+        try:
+            pred = replica.forward(xb, training=True, rng=rng)
+            if self.fused:
+                loss_value = replica.loss.value(yb, pred)
+                # Scale by 1/n_total (not 1/shard): the shard gradients
+                # are then batch-sum contributions and the tree reduce
+                # yields exactly the full-batch mean gradient.
+                grad = (pred - yb) / n_total
+                for index in range(len(replica.layers) - 2, -1, -1):
+                    grad = replica.layers[index].backward(grad)
+                    if grad is None:
+                        break
+            else:
+                loss_value, grad = replica.loss(yb, pred)
+                grad = grad * (yb.shape[0] / n_total)
+                replica.backward(grad)
+            _, grads = replica._gather()
+            # The replica's buffers are overwritten by its next shard,
+            # so the contribution must be copied out.
+            return loss_value, pred, [g.copy() for g in grads]
+        finally:
+            self.pool.put(replica)
+
+    def step(self, xb, yb, generator) -> Tuple[float, np.ndarray]:
+        """One data-parallel train step; returns ``(loss, predictions)``."""
+        n = xb.shape[0]
+        bounds = list(range(0, n, DATA_PARALLEL_SHARD_ROWS))
+        shards = [
+            (begin, xb[begin:begin + DATA_PARALLEL_SHARD_ROWS],
+             yb[begin:begin + DATA_PARALLEL_SHARD_ROWS])
+            for begin in bounds
+        ]
+        # Stochastic layers (Dropout) get one pre-derived stream per
+        # shard — drawn in shard order, so the stream plan is as
+        # worker-count independent as the shard plan.
+        if self.stochastic:
+            seeds = generator.integers(0, 2**63 - 1, size=len(shards))
+            rngs = [make_rng(int(seed)) for seed in seeds]
+        else:
+            rngs = [None] * len(shards)
+        if self.executor is None or len(shards) == 1:
+            results = [
+                self._shard_pass(sx, sy, n, rng)
+                for (_, sx, sy), rng in zip(shards, rngs)
+            ]
+        else:
+            futures = [
+                self.executor.submit(self._shard_pass, sx, sy, n, rng)
+                for (_, sx, sy), rng in zip(shards, rngs)
+            ]
+            results = [future.result() for future in futures]
+        loss_value = float(
+            _tree_reduce(
+                [value * shard[1].shape[0] for value, shard
+                 in zip((r[0] for r in results), shards)]
+            ) / n
+        )
+        pred = np.concatenate([r[1] for r in results], axis=0)
+        for j, buffer in enumerate(self.master_grads):
+            np.copyto(buffer, _tree_reduce([r[2][j] for r in results]))
+        self.model.optimizer.update(self.master_params, self.master_grads)
+        return loss_value, pred
 
 
 def _registry_name(instance, registry: dict) -> Optional[str]:
@@ -328,11 +517,19 @@ class Sequential:
         rng=None,
         callbacks: Sequence[Callback] = (),
         verbose: bool = False,
+        data_parallel: Optional[int] = None,
     ) -> History:
         """Train with shuffled mini-batches; returns the epoch history.
 
         ``y`` may be integer class labels (converted to one-hot against
         the model's output width) or an already-encoded target matrix.
+
+        ``data_parallel=N`` trains each batch as fixed-size gradient
+        shards spread over ``N`` replica threads with a deterministic
+        tree reduction — the result is bit-identical for every ``N``
+        (see :class:`_DataParallel`).  ``None`` resolves the
+        ``REPRO_DATA_PARALLEL`` knob; unset means the plain
+        single-threaded step, byte-for-byte the historical path.
         """
         self._require_compiled("fitting")
         if epochs <= 0:
@@ -360,6 +557,13 @@ class Sequential:
             x, y = x[:cut], y[:cut]
 
         fused = self._fused_softmax_cce()
+        if data_parallel is None:
+            data_parallel = data_parallel_from_env()
+        dp = (
+            _DataParallel(self, int(data_parallel))
+            if data_parallel is not None
+            else None
+        )
         history = History()
         n = x.shape[0]
         # Epoch telemetry flows through the structured logger: with
@@ -390,9 +594,14 @@ class Sequential:
                         for begin in range(0, n, batch_size):
                             idx = order[begin:begin + batch_size]
                             xb, yb = x[idx], y[idx]
-                            loss_value, pred = self._train_step(
-                                xb, yb, fused, rng=generator
-                            )
+                            if dp is not None:
+                                loss_value, pred = dp.step(
+                                    xb, yb, generator
+                                )
+                            else:
+                                loss_value, pred = self._train_step(
+                                    xb, yb, fused, rng=generator
+                                )
                             epoch_loss += loss_value * len(idx)
                             correct += (
                                 pred.argmax(axis=1) == yb.argmax(axis=1)
@@ -425,6 +634,8 @@ class Sequential:
                     if stop:
                         break
         finally:
+            if dp is not None:
+                dp.close()
             profiler, self._profiler = self._profiler, None
         if profiler is not None:
             self.last_profile = profiler.stats()

@@ -11,6 +11,16 @@ Two spellings:
 
       python -m repro.search --scenario toyspeck --rounds 3 --generations 6
 
+* a multi-config **sweep**, optionally resumable::
+
+      python -m repro.search cfgs/a.json cfgs/b.json --resume runs/sweep1
+
+  Each config file holds one scenario dict or a list of them; every
+  scenario is an independent cell (``--workers N`` runs that many in
+  parallel) and with ``--resume DIR`` each becomes a persistent job
+  under ``DIR/queue/search`` — a re-run after an interruption skips the
+  scenarios that already finished (see :mod:`repro.jobs`).
+
 Without ``--registry`` the pipeline stops after training (``--search-only``
 stops before it); with one, the trained distinguisher is registered and
 its manifest records the discovered difference set, so
@@ -22,16 +32,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro.errors import ReproError
 from repro.search.config import SCENARIO_BUILDERS, ScenarioSpec
 from repro.search.evolve import SearchConfig
-from repro.search.pipeline import run_search, run_search_pipeline
+from repro.search.pipeline import (
+    load_sweep,
+    run_search,
+    run_search_pipeline,
+    run_sweep,
+)
 
 
 def _spec_from_args(args) -> ScenarioSpec:
-    if args.config is not None:
-        spec = ScenarioSpec.from_json(args.config)
+    if args.config:
+        spec = ScenarioSpec.from_json(args.config[0])
     else:
         search = {}
         for key, value in (
@@ -71,9 +87,10 @@ def main(argv=None) -> int:
         "search -> train -> register.",
     )
     parser.add_argument(
-        "config", nargs="?", default=None,
-        help="JSON scenario config (see EXPERIMENTS.md for the schema); "
-        "omit to use the inline flags",
+        "config", nargs="*", default=[],
+        help="JSON scenario config(s) (see EXPERIMENTS.md for the schema); "
+        "omit to use the inline flags.  More than one file — or a file "
+        "holding a list of scenarios — runs as a sweep",
     )
     parser.add_argument(
         "--scenario", default="toyspeck",
@@ -103,6 +120,10 @@ def main(argv=None) -> int:
                         "trained distinguisher when given")
     parser.add_argument("--search-only", action="store_true",
                         help="stop after the search stage (no training)")
+    parser.add_argument("--resume", metavar="DIR", default=None,
+                        help="run the sweep resumably: persist each "
+                        "scenario as a job under DIR/queue/search and "
+                        "skip scenarios completed by earlier invocations")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the result as JSON on stdout")
     args = parser.parse_args(argv)
@@ -114,6 +135,43 @@ def main(argv=None) -> int:
         obs_log.configure(stream=sys.stderr)
 
     try:
+        sweep = args.resume is not None or len(args.config) > 1
+        if not sweep and len(args.config) == 1:
+            # a single file holding a list is a sweep too
+            raws = load_sweep(args.config)
+            sweep = len(raws) > 1
+        if sweep:
+            if args.search_only:
+                parser.error("--search-only does not apply to sweeps")
+            raws = load_sweep(args.config) if args.config else None
+            if raws is None:
+                parser.error("a sweep needs at least one config file")
+            queue_dir = (
+                Path(args.resume) / "queue" / "search"
+                if args.resume is not None
+                else None
+            )
+            summaries = run_sweep(
+                raws,
+                registry_dir=args.registry,
+                workers=args.workers,
+                queue_dir=queue_dir,
+                verbose=not args.as_json,
+            )
+            if args.as_json:
+                print(json.dumps(summaries, indent=2))
+            else:
+                for summary in summaries:
+                    print(
+                        f"[{summary['name']}] validation accuracy "
+                        f"{summary['training']['validation_accuracy']:.4f}"
+                        + (
+                            f", registered v{summary['version']}"
+                            if "version" in summary
+                            else ""
+                        )
+                    )
+            return 0
         spec = _spec_from_args(args)
         if args.search_only:
             result = run_search(spec, workers=args.workers)

@@ -36,13 +36,20 @@ from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.core.extra_scenarios import Gift16Scenario, Gift64Scenario, SalsaScenario
+from repro.core.extra_scenarios import (
+    Gift16Scenario,
+    Gift64Scenario,
+    SalsaScenario,
+    ToyGiftScenario,
+    TriviumScenario,
+)
 from repro.core.related_key import (
     SpeckRelatedKeyScenario,
     ToySpeckRelatedKeyScenario,
 )
 from repro.core.scenario import (
     DifferentialScenario,
+    GimliCipherScenario,
     GimliHashScenario,
     GimliPermutationScenario,
     ToySpeckScenario,
@@ -100,6 +107,42 @@ def _allowed_gimli_hash(rounds: int = 8, block_len: int = 15):
         word, offset = divmod(byte, 4)
         allowed[word] |= np.uint32(0xFF << (8 * offset))
     return allowed
+
+
+def _build_gimli_cipher(masks, total_rounds: int = 8):
+    return GimliCipherScenario(
+        total_rounds=total_rounds, masks=np.asarray(masks, dtype=np.uint32)
+    )
+
+
+def _probe_gimli_cipher(total_rounds: int = 8):
+    del total_rounds
+    return _single_bit_masks([(1, 0), (3, 0)], 4, np.uint32)  # bytes 4 / 12
+
+
+# No ``allowed`` for gimli-cipher: the whole 16-byte nonce is
+# attacker-controlled, so every bit of all four words is searchable.
+
+
+def _build_trivium(masks, warmup: int = 384, output_bits: int = 64):
+    return TriviumScenario(
+        warmup=warmup,
+        output_bits=output_bits,
+        masks=np.asarray(masks, dtype=np.uint8),
+    )
+
+
+def _probe_trivium(warmup: int = 384, output_bits: int = 64):
+    del warmup, output_bits
+    return _single_bit_masks([(0, 0), (5, 0)], 10, np.uint8)  # IV bits 0 / 40
+
+
+def _build_toygift(masks):
+    return ToyGiftScenario(masks=np.asarray(masks, dtype=np.uint8))
+
+
+def _probe_toygift():
+    return np.array([[0x23], [0x01]], dtype=np.uint8)
 
 
 def _build_gimli_permutation(masks, rounds: int = 8, observe_words=None):
@@ -205,8 +248,11 @@ def get_scenario_builder(name: str) -> ScenarioBuilder:
 for _builder in (
     ScenarioBuilder("gimli-hash", _build_gimli_hash, _probe_gimli_hash,
                     _allowed_gimli_hash),
+    ScenarioBuilder("gimli-cipher", _build_gimli_cipher, _probe_gimli_cipher),
     ScenarioBuilder("gimli-permutation", _build_gimli_permutation,
                     _probe_gimli_permutation),
+    ScenarioBuilder("trivium", _build_trivium, _probe_trivium),
+    ScenarioBuilder("toygift", _build_toygift, _probe_toygift),
     ScenarioBuilder("toyspeck", _build_toyspeck, _probe_toyspeck),
     ScenarioBuilder("gift16", _build_gift16, _probe_gift16),
     ScenarioBuilder("gift64", _build_gift64, _probe_gift64),

@@ -25,12 +25,14 @@ metrics registry.
 
 from __future__ import annotations
 
-from typing import Optional
+import json
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.distinguisher import MLDistinguisher
 from repro.errors import SearchError
+from repro.jobs import bind_run, run_cells
 from repro.nn.architectures import build_mlp
 from repro.obs import log as obs_log
 from repro.obs.trace import span
@@ -152,3 +154,114 @@ def run_search_pipeline(
                 model_id=record.model_id[:12],
             )
     return summary
+
+
+# -- sweeps ------------------------------------------------------------------
+
+
+def load_sweep(paths: Sequence[str]) -> List[dict]:
+    """Read sweep scenarios from JSON config files.
+
+    Each file holds either one scenario dict or a list of them; the
+    concatenation (in argument order) is the sweep.  Every raw dict is
+    validated through :meth:`ScenarioSpec.from_dict` here — a typo in
+    scenario 7 of 9 should fail the sweep up front, not after six
+    trainings — but the *raw* dicts are returned: they are the
+    JSON-able job specs the queue fingerprints.
+    """
+    raws: List[dict] = []
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+        except FileNotFoundError:
+            raise SearchError(f"no scenario config at {path!r}") from None
+        except json.JSONDecodeError as exc:
+            raise SearchError(f"invalid JSON in {path!r}: {exc}") from None
+        entries = loaded if isinstance(loaded, list) else [loaded]
+        for raw in entries:
+            ScenarioSpec.from_dict(raw)  # validate eagerly
+            raws.append(raw)
+    if not raws:
+        raise SearchError("sweep config files name no scenarios")
+    names = [str(raw.get("name") or raw["scenario"]) for raw in raws]
+    if len(set(names)) != len(names):
+        raise SearchError(
+            f"sweep scenario names must be unique, got {names}"
+        )
+    return raws
+
+
+def _run_sweep_job(payload: Dict) -> dict:
+    """One sweep scenario end-to-end (module-level: pickles into pools).
+
+    The payload carries only JSON-able state (the raw spec dict and the
+    registry path), so the job reruns identically on resume; scenario
+    and registry objects are constructed inside the worker.  Oracle and
+    dataset generation run with one in-cell worker — pool children
+    cannot fork grandchildren — which is result-invariant.
+    """
+    spec = ScenarioSpec.from_dict(payload["raw"])
+    registry = None
+    if payload["registry_dir"] is not None:
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry(payload["registry_dir"])
+    with span("search.sweep.cell", spec=spec.name):
+        return run_search_pipeline(
+            spec,
+            registry=registry,
+            workers=payload["cell_workers"],
+            verbose=payload["verbose"],
+        )
+
+
+def run_sweep(
+    raws: Sequence[dict],
+    registry_dir: Optional[str] = None,
+    workers: Optional[int] = None,
+    queue_dir=None,
+    verbose: bool = False,
+) -> List[dict]:
+    """Run a sweep of scenario configs, optionally resumable.
+
+    Each scenario is an independent cell: with ``workers`` they run in
+    that many processes, and with ``queue_dir`` each becomes a
+    persistent job keyed by the fingerprint of its raw config dict —
+    ``python -m repro.search cfg1.json cfg2.json --resume DIR`` after an
+    interruption re-runs only the scenarios that never finished (every
+    spec carries its own seeds, so replayed summaries are bit-identical
+    to a straight-through sweep).  Returns the summaries in config
+    order.
+    """
+    raws = list(raws)
+    if queue_dir is not None:
+        bind_run(
+            queue_dir,
+            "search-sweep",
+            {"registry": registry_dir is not None},
+            0,
+        )
+    # Every cell samples with exactly one sharded worker: the sharded
+    # generator is worker-count-invariant but *differs* from the legacy
+    # single-stream path (workers=None), so pinning it makes sweep
+    # summaries identical whatever ``--workers`` each (re-)invocation
+    # used — the property the queue's bit-identical-resume contract
+    # rests on.  (Pool children could not fork grandchildren anyway.)
+    payloads = [
+        {
+            "raw": raw,
+            "registry_dir": registry_dir,
+            "cell_workers": 1,
+            "verbose": verbose and workers in (None, 1),
+        }
+        for raw in raws
+    ]
+    return run_cells(
+        _run_sweep_job,
+        payloads,
+        specs=raws,
+        workers=workers,
+        label="search.sweep",
+        queue_dir=queue_dir,
+    )

@@ -36,7 +36,9 @@ def _report(**means):
     }
 
 
-@pytest.mark.parametrize("suite", ["nn_ops", "ciphers", "serve", "obs", "quant"])
+@pytest.mark.parametrize(
+    "suite", ["nn_ops", "ciphers", "serve", "obs", "quant", "jobs"]
+)
 class TestCommittedBaselines:
     def test_baseline_exists_and_validates(self, suite):
         path = BENCH_DIR / f"BENCH_{suite}.json"
@@ -76,6 +78,13 @@ class TestCommittedBaselines:
                 "predict_lstm_ii_int8_rows512",
                 "serve_mlp_iii_int8_rows32",
                 "serve_mlp_iii_int8_rows256",
+            },
+            "jobs": {
+                "grid_bare_16cells",
+                "queue_run_16cells",
+                "queue_replay_16cells",
+                "fit_data_parallel_1",
+                "fit_data_parallel_2",
             },
         }[suite]
         assert expected <= names

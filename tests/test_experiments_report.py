@@ -1,0 +1,78 @@
+"""Tests for the HTML/markdown run report (complete and partial runs)."""
+
+import json
+
+import pytest
+
+from repro.errors import JobError
+from repro.experiments.report import (
+    collect_run,
+    render_html,
+    render_markdown,
+    write_run_report,
+)
+from repro.experiments.table2 import run_table2
+
+TINY = dict(
+    rounds=(3,),
+    targets=("hash", "cipher"),
+    offline_samples=1000,
+    online_samples=300,
+    epochs=1,
+    rng=13,
+)
+
+
+def _complete_run(run_dir):
+    result = run_table2(queue_dir=run_dir / "queue" / "table2", **TINY)
+    (run_dir / "table2_result.json").write_text(json.dumps(result))
+    return result
+
+
+class TestCompleteRun:
+    def test_collect_sees_result_and_queue(self, tmp_path):
+        _complete_run(tmp_path)
+        collected = collect_run(tmp_path)
+        exp = collected["experiments"]["table2"]
+        assert exp["result"] is not None
+        assert exp["queue"]["counts"]["done"] == 2
+        assert len(exp["queue"]["jobs"]) == 2
+
+    def test_markdown_has_status_and_accuracy(self, tmp_path):
+        _complete_run(tmp_path)
+        text = render_markdown(collect_run(tmp_path))
+        assert "2/2 cells done" in text
+        assert "table2" in text
+        assert "hash" in text and "cipher" in text
+
+    def test_html_renders_standalone_page(self, tmp_path):
+        _complete_run(tmp_path)
+        page = render_html(collect_run(tmp_path))
+        assert page.startswith("<!DOCTYPE html>" ) or "<html" in page
+        assert "table2" in page
+
+    def test_write_run_report_emits_both_files(self, tmp_path):
+        _complete_run(tmp_path)
+        paths = write_run_report(tmp_path)
+        names = {p.name for p in paths}
+        assert names == {"report.md", "report.html"}
+        for path in paths:
+            assert path.read_text()
+
+
+class TestPartialRun:
+    def test_renders_from_killed_run_queue_state(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS_MAX_CELLS", "1")
+        with pytest.raises(JobError):
+            run_table2(queue_dir=tmp_path / "queue" / "table2", **TINY)
+        text = render_markdown(collect_run(tmp_path))
+        assert "1/2 cells done" in text
+        assert "partial run" in text
+        # both files still render without any *_result.json present
+        paths = write_run_report(tmp_path)
+        assert all(p.exists() for p in paths)
+
+    def test_empty_run_dir_renders(self, tmp_path):
+        text = render_markdown(collect_run(tmp_path))
+        assert "report" in text.lower() or text  # renders, never raises

@@ -1,0 +1,117 @@
+"""Tests for data-parallel training: bit-identical for any worker count."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import Dense, Dropout, ReLU, Sequential, Softmax
+from repro.nn.model import (
+    DATA_PARALLEL_SHARD_ROWS,
+    _tree_reduce,
+    data_parallel_from_env,
+)
+
+
+def make_data(rng, n=256):
+    x0 = rng.normal(loc=-1.5, size=(n // 2, 6))
+    x1 = rng.normal(loc=+1.5, size=(n // 2, 6))
+    x = np.concatenate([x0, x1])
+    y = np.concatenate(
+        [np.zeros(n // 2, dtype=int), np.ones(n // 2, dtype=int)]
+    )
+    order = rng.permutation(x.shape[0])
+    return x[order], y[order]
+
+
+def train(layers_fn, data_parallel, rng_factory, loss=None, n=256,
+          epochs=2, batch_size=96):
+    gen = rng_factory(11)
+    x, y = make_data(gen, n=n)
+    model = Sequential(layers_fn()).build((6,), rng_factory(5))
+    model.compile(**({} if loss is None else {"loss": loss}))
+    history = model.fit(
+        x, y, epochs=epochs, batch_size=batch_size, rng=rng_factory(6),
+        data_parallel=data_parallel,
+    )
+    params, _ = model._gather()
+    records = {k: v for k, v in history.records.items() if k != "time"}
+    return [p.copy() for p in params], records
+
+
+def fused_layers():
+    return [Dense(16), ReLU(), Dropout(0.25), Dense(2), Softmax()]
+
+
+def plain_layers():
+    return [Dense(16), ReLU(), Dense(2), Softmax()]
+
+
+class TestTreeReduce:
+    def test_matches_sum_for_scalars(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert _tree_reduce(values) == 15.0
+
+    def test_single_element(self):
+        assert _tree_reduce([7.5]) == 7.5
+
+    def test_deterministic_pairing(self):
+        # The reduction is a fixed balanced tree over shard order, so
+        # the floating-point result is a function of the inputs alone.
+        rng = np.random.default_rng(3)
+        values = list(rng.normal(size=13))
+        assert _tree_reduce(list(values)) == _tree_reduce(list(values))
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_fused_softmax_cce_with_dropout(self, rng_factory, workers):
+        base_params, base_hist = train(fused_layers, 1, rng_factory)
+        params, hist = train(fused_layers, workers, rng_factory)
+        assert hist == base_hist
+        for a, b in zip(base_params, params):
+            assert np.array_equal(a, b)  # bit-identical, not allclose
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_non_fused_loss(self, rng_factory, workers):
+        base_params, base_hist = train(
+            plain_layers, 1, rng_factory, loss="mse"
+        )
+        params, hist = train(plain_layers, workers, rng_factory, loss="mse")
+        assert hist == base_hist
+        for a, b in zip(base_params, params):
+            assert np.array_equal(a, b)
+
+    def test_partial_final_shard(self, rng_factory):
+        # n chosen so the last shard of the last batch is ragged
+        n = DATA_PARALLEL_SHARD_ROWS * 3 + 17
+        base_params, _ = train(plain_layers, 1, rng_factory, n=n,
+                               batch_size=n)
+        params, _ = train(plain_layers, 3, rng_factory, n=n, batch_size=n)
+        for a, b in zip(base_params, params):
+            assert np.array_equal(a, b)
+
+
+class TestKnobs:
+    def test_env_knob_matches_explicit(self, rng_factory, monkeypatch):
+        explicit_params, explicit_hist = train(fused_layers, 2, rng_factory)
+        monkeypatch.setenv("REPRO_DATA_PARALLEL", "2")
+        env_params, env_hist = train(fused_layers, None, rng_factory)
+        assert env_hist == explicit_hist
+        for a, b in zip(explicit_params, env_params):
+            assert np.array_equal(a, b)
+
+    def test_env_unset_means_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DATA_PARALLEL", raising=False)
+        assert data_parallel_from_env() is None
+
+    def test_env_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DATA_PARALLEL", "two")
+        with pytest.raises(TrainingError):
+            data_parallel_from_env()
+        monkeypatch.setenv("REPRO_DATA_PARALLEL", "0")
+        with pytest.raises(TrainingError):
+            data_parallel_from_env()
+
+    def test_invalid_worker_count_rejected(self, rng_factory):
+        with pytest.raises(TrainingError):
+            train(plain_layers, 0, rng_factory)

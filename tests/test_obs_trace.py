@@ -164,7 +164,7 @@ class TestManifest:
         )
         manifest = json.loads(manifest_path.read_text())
         assert manifest["experiment"] == "complexity"
-        assert manifest["manifest_version"] == 1
+        assert manifest["manifest_version"] == 2
         assert manifest["duration_s"] > 0.0
         names = [s["name"] for s in manifest["spans"]]
         assert "experiment.complexity" in names

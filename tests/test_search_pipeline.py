@@ -205,3 +205,124 @@ class TestCLI:
         code = main([str(path), "--search-only"])
         assert code == 1
         assert "unknown scenario" in capsys.readouterr().err
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs_stream():
+    # The CLI tests above configure the obs logger onto a per-test
+    # captured stderr; repoint it at the live stdout so later tests
+    # never write to a closed capture stream.
+    import sys
+
+    from repro.obs import log as obs_log
+
+    obs_log.configure(stream=sys.stdout)
+    yield
+
+
+class TestNewScenarioFamilies:
+    """The gimli-cipher, trivium and toygift builder families."""
+
+    def test_toygift_exhaustive_search_space(self):
+        builder = get_scenario_builder("toygift")
+        prototype = builder.prototype()
+        assert prototype.difference_masks.dtype == np.uint8
+        assert prototype.input_words == 1
+
+    def test_toygift_search_finds_nonzero_bias(self):
+        spec = ScenarioSpec.from_dict(
+            {
+                "scenario": "toygift",
+                "search": {**FAST_SEARCH, "n_samples": 1024},
+            }
+        )
+        result = run_search(spec)
+        assert result.best_score > result.noise_floor
+
+    def test_trivium_prototype_and_build(self):
+        builder = get_scenario_builder("trivium")
+        prototype = builder.prototype(warmup=96, output_bits=32)
+        assert prototype.input_words == 10
+        masks = np.zeros((2, 10), dtype=np.uint8)
+        masks[0, 0] = 1
+        masks[1, 5] = 1
+        spec = ScenarioSpec.from_dict(
+            {
+                "scenario": "trivium",
+                "params": {"warmup": 96, "output_bits": 32},
+                "differences": masks.tolist(),
+            }
+        )
+        scenario = spec.build_scenario(spec.differences)
+        assert scenario.output_words == 4
+
+    def test_gimli_cipher_prototype_and_build(self):
+        builder = get_scenario_builder("gimli-cipher")
+        prototype = builder.prototype(total_rounds=6)
+        assert prototype.difference_masks.shape[1] == 4
+        masks = np.zeros((2, 4), dtype=np.uint32)
+        masks[0, 1] = 1
+        masks[1, 3] = 1
+        spec = ScenarioSpec.from_dict(
+            {
+                "scenario": "gimli-cipher",
+                "params": {"total_rounds": 6},
+                "differences": masks.tolist(),
+            }
+        )
+        scenario = spec.build_scenario(spec.differences)
+        assert scenario.num_classes == 2
+
+
+class TestSweep:
+    def _cfgs(self, tmp_path):
+        cfgs = [
+            {
+                "name": "gift-a",
+                "scenario": "toygift",
+                "differences": [[0x23], [0x01]],
+                "train": {"num_samples": 1500, "epochs": 2, "hidden": [16],
+                          "seed": 0, "significance": 0.9},
+            },
+            {
+                "name": "gift-b",
+                "scenario": "toygift",
+                "differences": [[0x40], [0x02]],
+                "train": {"num_samples": 1500, "epochs": 2, "hidden": [16],
+                          "seed": 1, "significance": 0.9},
+            },
+        ]
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(cfgs))
+        return path
+
+    def test_load_sweep_validates_and_returns_raw(self, tmp_path):
+        from repro.search.pipeline import load_sweep
+
+        raws = load_sweep([str(self._cfgs(tmp_path))])
+        assert [r["name"] for r in raws] == ["gift-a", "gift-b"]
+
+    def test_load_sweep_rejects_duplicate_names(self, tmp_path):
+        from repro.search.pipeline import load_sweep
+
+        path = tmp_path / "dup.json"
+        path.write_text(json.dumps([
+            {"scenario": "toygift", "differences": [[0x23], [0x01]]},
+            {"scenario": "toygift", "differences": [[0x40], [0x02]]},
+        ]))
+        with pytest.raises(SearchError, match="unique"):
+            load_sweep([str(path)])
+
+    def test_sweep_resume_is_bit_identical(self, tmp_path, monkeypatch):
+        from repro.errors import JobError
+        from repro.search.pipeline import load_sweep, run_sweep
+
+        raws = load_sweep([str(self._cfgs(tmp_path))])
+        straight = run_sweep(raws, queue_dir=tmp_path / "q1")
+
+        monkeypatch.setenv("REPRO_JOBS_MAX_CELLS", "1")
+        with pytest.raises(JobError, match="not processed"):
+            run_sweep(raws, queue_dir=tmp_path / "q2")
+        monkeypatch.delenv("REPRO_JOBS_MAX_CELLS")
+        resumed = run_sweep(raws, queue_dir=tmp_path / "q2")
+        assert resumed == straight
