@@ -12,7 +12,10 @@ the worst-case cost of running fully instrumented.
 A set of micro entries then times the individual primitives (disabled
 log call, JSON log line, disabled span, enabled span, counter
 increment, histogram observation) so a regression can be attributed to
-one pillar rather than "obs got slower".
+one pillar rather than "obs got slower".  Two aggregation entries time
+the cross-process path: one worker flush (per-pid spans append +
+atomic metrics dump) and the deterministic merge of a 16-cell grid's
+sinks into ``trace_merged.json`` / ``metrics_merged.prom``.
 
 Usage::
 
@@ -181,11 +184,113 @@ def run(quick: bool, output_dir: Path) -> Path:
 
     obs_log.configure(mode="off")
 
+    # -- aggregation path: worker flush + 16-cell merge --------------------
+    benchmarks.extend(_aggregation_entries(rounds, quick))
+
     report = {"suite": "obs", "quick": bool(quick), "benchmarks": benchmarks}
     output_dir.mkdir(parents=True, exist_ok=True)
     out_path = output_dir / "BENCH_obs.json"
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     return out_path
+
+
+def _aggregation_entries(rounds: int, quick: bool):
+    """Cost of the cross-process path: one worker flush, one grid merge.
+
+    The flush entry is what every pool worker pays once per cell batch
+    (spans JSONL append + atomic metrics dump); the merge entry is the
+    parent's end-of-run cost of collating a 16-cell grid's worth of
+    sinks (4 worker processes, 4 cells each) plus the event bus into
+    ``trace_merged.json`` / ``metrics_merged.prom``.
+    """
+    import shutil
+    import tempfile
+
+    from repro.obs import agg as obs_agg
+    from repro.obs import context as obs_context
+    from repro.obs import events as obs_events
+    from repro.obs import metrics as obs_metrics
+
+    del quick  # entry names must match the committed baseline's
+    spans_per_flush = 32
+    entries = []
+
+    def make_spans(count, pid):
+        return [
+            {
+                "name": "bench.cell",
+                "start_us": 1_000 * i,
+                "dur_us": 900,
+                "tid": 1,
+                "pid": pid,
+                "attrs": {"cell": i},
+            }
+            for i in range(count)
+        ]
+
+    def make_registry():
+        registry = obs_metrics.MetricsRegistry()
+        registry.counter("bench_cells_total").inc(4)
+        registry.histogram("bench_cell_seconds").observe(0.9)
+        return registry
+
+    # Worker flush: spans append + metrics dump into a fresh run dir.
+    flush_dir = Path(tempfile.mkdtemp(prefix="bench-obs-flush-"))
+    try:
+        ctx = obs_context.RunContext(
+            run_id="bench", run_dir=str(flush_dir), origin_pid=0
+        )
+        spans = make_spans(spans_per_flush, pid=1000)
+        registry = make_registry()
+        samples = _time_rounds(
+            lambda: obs_context._flush(ctx, "worker", spans, registry),
+            rounds,
+            5,
+        )
+        entries.append(
+            _entry(f"obs_worker_flush[spans={spans_per_flush}]", samples)
+        )
+    finally:
+        shutil.rmtree(flush_dir, ignore_errors=True)
+
+    # Merge: 4 workers x 4 cells + a main process + an event bus.  Sink
+    # files are synthesized directly (one per fake pid) because a real
+    # ``_flush`` names files after *this* process's pid.
+    merge_dir = Path(tempfile.mkdtemp(prefix="bench-obs-merge-"))
+    try:
+        sink = obs_context.obs_dir(merge_dir)
+        sink.mkdir(parents=True, exist_ok=True)
+
+        def write_process(role, pid, cells):
+            lines = "".join(
+                json.dumps(
+                    {**record, "role": role, "run_id": "bench"},
+                    sort_keys=True,
+                ) + "\n"
+                for record in make_spans(cells, pid)
+            )
+            (sink / f"{role}-{pid}.spans.jsonl").write_text(lines)
+            dump = make_registry().dump()
+            dump.update(pid=pid, role=role, run_id="bench")
+            (sink / f"{role}-{pid}.metrics.json").write_text(
+                json.dumps(dump, sort_keys=True) + "\n"
+            )
+
+        write_process("main", 1, 4)
+        for worker in range(4):
+            write_process("worker", 2000 + worker, 4)
+        for i in range(16):
+            obs_events.emit(
+                "cell.done", run_dir=merge_dir, job_id=f"cell{i}",
+                duration_s=0.9,
+            )
+        samples = _time_rounds(
+            lambda: obs_agg.merge_run(merge_dir), rounds, 5
+        )
+        entries.append(_entry("obs_merge_16cell_grid", samples))
+    finally:
+        shutil.rmtree(merge_dir, ignore_errors=True)
+    return entries
 
 
 def main(argv=None) -> int:

@@ -27,17 +27,80 @@ and run in-process otherwise.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import statistics
+import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.cache import DatasetCache, dataset_cache_key
 from repro.errors import DistinguisherError
+from repro.obs import context as obs_context
+from repro.obs import events as obs_events
 from repro.obs import log as obs_log
 from repro.obs.trace import span
 from repro.utils.rng import RngLike
 
 _log = obs_log.get_logger("repro.parallel")
+
+#: Warn when a cell has been in flight longer than this multiple of the
+#: median completed-cell duration (``REPRO_OBS_STALL_FACTOR``; <= 0
+#: disables the detector).
+DEFAULT_STALL_FACTOR = 4.0
+
+#: How often the parent polls the pool while waiting for the next cell
+#: (``REPRO_OBS_STALL_POLL_S``); also the stall-warning granularity.
+DEFAULT_STALL_POLL_S = 1.0
+
+#: Completed-cell durations needed before the median is trusted.
+MIN_STALL_SAMPLES = 3
+
+
+def stall_factor_from_env() -> float:
+    """``REPRO_OBS_STALL_FACTOR`` (default 4.0; values <= 0 disable)."""
+    raw = os.environ.get("REPRO_OBS_STALL_FACTOR", "")
+    if not raw:
+        return DEFAULT_STALL_FACTOR
+    try:
+        return float(raw)
+    except ValueError:
+        raise DistinguisherError(
+            f"REPRO_OBS_STALL_FACTOR must be a float, got {raw!r}"
+        ) from None
+
+
+def stall_poll_from_env() -> float:
+    """``REPRO_OBS_STALL_POLL_S`` (default 1.0 s; must be positive)."""
+    raw = os.environ.get("REPRO_OBS_STALL_POLL_S", "")
+    if not raw:
+        return DEFAULT_STALL_POLL_S
+    try:
+        value = float(raw)
+    except ValueError:
+        raise DistinguisherError(
+            f"REPRO_OBS_STALL_POLL_S must be a float, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise DistinguisherError(
+            f"REPRO_OBS_STALL_POLL_S must be positive, got {value}"
+        )
+    return value
+
+
+def _context_task(fn: Callable) -> Callable:
+    """Wrap ``fn`` for pool dispatch when a run context is ambient.
+
+    The wrapper propagates the run id into the worker and flushes the
+    worker's spans + metrics into the run directory after every task
+    (see :class:`repro.obs.context.ContextTask`).  Without an ambient
+    context the function passes through untouched — the historical
+    pickling surface.
+    """
+    ctx = obs_context.current()
+    if ctx is None:
+        return fn
+    return obs_context.ContextTask(fn, ctx)
 
 #: Base inputs per shard.  Chosen so one shard is large enough to keep
 #: the vectorised cipher kernels efficient but small enough that a
@@ -134,7 +197,8 @@ def generate_dataset_sharded(
             with multiprocessing.get_context().Pool(
                 processes=min(workers, len(jobs))
             ) as pool:
-                for index, result in enumerate(pool.imap(_run_shard, jobs)):
+                shard_fn = _context_task(_run_shard)
+                for index, result in enumerate(pool.imap(shard_fn, jobs)):
                     results.append(result)
                     _log.debug("data.shard", done=index + 1, total=len(jobs))
     # Each unshuffled shard is grouped by class (t blocks of shard_n
@@ -163,6 +227,8 @@ def run_grid(
     payloads: Sequence,
     workers: Optional[int] = None,
     label: str = "grid",
+    on_result: Optional[Callable] = None,
+    duration_of: Optional[Callable] = None,
 ) -> List:
     """Map ``fn`` over independent grid cells, optionally in worker
     processes.
@@ -177,6 +243,20 @@ def run_grid(
     clamped to the CPU count: cells spend much of their wall-clock in
     BLAS and cipher kernels, so modest oversubscription is harmless and
     keeps ``workers=N`` semantics identical across machines.
+
+    ``on_result(index, result)`` is invoked in the parent, in cell
+    order, as each result lands — the job runner uses it to persist
+    cell outcomes immediately instead of after the whole grid.
+
+    When an observability run context is ambient
+    (:func:`repro.obs.context.current`), the dispatched function is
+    wrapped so each pool worker flushes its spans and metrics into the
+    run directory, and the parent watches for stalls while it waits: a
+    cell in flight longer than ``REPRO_OBS_STALL_FACTOR`` times the
+    median completed-cell duration (``duration_of(result)`` when the
+    caller can extract one, inter-completion gaps otherwise) raises a
+    warn-level log line plus a ``cell.stall`` run event — instead of
+    silence until the cell completes.
 
     Cells run inside pool workers must not spawn pools of their own
     (``multiprocessing`` daemonic children cannot fork grandchildren),
@@ -197,19 +277,94 @@ def run_grid(
         if workers == 1 or len(payloads) <= 1:
             for index, payload in enumerate(payloads):
                 results.append(fn(payload))
+                if on_result is not None:
+                    on_result(index, results[-1])
                 _log.info(
                     f"{label}.cell", done=index + 1, total=len(payloads)
                 )
         else:
+            task = _context_task(fn)
+            stall_factor = stall_factor_from_env()
+            poll_s = stall_poll_from_env()
+            durations: List[float] = []
             with multiprocessing.get_context().Pool(
                 processes=min(workers, len(payloads))
             ) as pool:
-                for index, result in enumerate(pool.imap(fn, payloads)):
+                iterator = pool.imap(task, payloads)
+                last_done = time.perf_counter()
+                for index in range(len(payloads)):
+                    result = _next_with_stall_watch(
+                        iterator, label, index, len(payloads), durations,
+                        last_done, stall_factor, poll_s,
+                    )
+                    now = time.perf_counter()
+                    measured = None
+                    if duration_of is not None:
+                        measured = duration_of(result)
+                    durations.append(
+                        float(measured) if measured is not None
+                        else now - last_done
+                    )
+                    last_done = now
                     results.append(result)
+                    if on_result is not None:
+                        on_result(index, result)
                     _log.info(
                         f"{label}.cell", done=index + 1, total=len(payloads)
                     )
     return results
+
+
+def _next_with_stall_watch(
+    iterator,
+    label: str,
+    index: int,
+    total: int,
+    durations: List[float],
+    waiting_since: float,
+    stall_factor: float,
+    poll_s: float,
+):
+    """``iterator.next()`` with a stall warning while the parent waits.
+
+    Polls the pool's order-preserving iterator; once the wait for the
+    next cell exceeds ``stall_factor`` times the median completed-cell
+    duration (given ``MIN_STALL_SAMPLES`` completions), emits one
+    warn-level log line and one ``cell.stall`` run event, then keeps
+    waiting.  ``stall_factor <= 0`` waits without polling — exactly the
+    historical blocking behaviour.
+    """
+    if stall_factor <= 0:
+        return iterator.next()
+    warned = False
+    while True:
+        try:
+            return iterator.next(timeout=poll_s)
+        except multiprocessing.TimeoutError:
+            if warned or len(durations) < MIN_STALL_SAMPLES:
+                continue
+            waited = time.perf_counter() - waiting_since
+            median_s = statistics.median(durations)
+            if waited <= stall_factor * median_s:
+                continue
+            warned = True
+            _log.warning(
+                f"{label}.stall",
+                waiting_s=round(waited, 3),
+                median_cell_s=round(median_s, 3),
+                factor=stall_factor,
+                done=index,
+                total=total,
+            )
+            obs_events.emit(
+                "cell.stall",
+                label=label,
+                waiting_s=round(waited, 3),
+                median_cell_s=round(median_s, 3),
+                factor=stall_factor,
+                done=index,
+                total=total,
+            )
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:

@@ -37,11 +37,16 @@ from typing import Dict, List, Tuple
 
 from repro.core.parallel import resolve_workers
 from repro.jobs import atomic_write_text
+from repro.obs import agg as obs_agg
+from repro.obs import context as obs_context
+from repro.obs import events as obs_events
 from repro.obs import trace
 
 #: Manifest schema version, bumped on incompatible layout changes.
 #: v2: atomic writes, ``workers`` (requested/resolved), ``cells``.
-MANIFEST_VERSION = 2
+#: v3: ``run_id`` + ``obs`` (merged trace / Prometheus artefacts,
+#: contributing processes) — the run is now the unit of telemetry.
+MANIFEST_VERSION = 3
 
 
 def _scalar_args(kwargs: Dict) -> Dict:
@@ -154,14 +159,35 @@ def run_with_manifest(name: str, run_dir, **kwargs) -> Tuple[Dict, Path]:
     before = len(trace.finished_spans())
     started_unix = time.time()
     start = time.perf_counter()
-    try:
-        with trace.span(f"experiment.{name}"):
-            result = run_experiment(name, **kwargs)
-    finally:
-        duration = time.perf_counter() - start
-        spans = trace.finished_spans()[before:]
-        if not was_enabled:
-            trace.disable()
+    # The run context propagates the run id into pool workers (which
+    # flush their spans/metrics under run_dir/obs/) and routes run
+    # events — cell lifecycle, fit epoch ticks — into events.jsonl.
+    with obs_context.run_context(run_dir, trace=True) as ctx:
+        obs_events.emit("run.start", experiment=name, run_id=ctx.run_id)
+        try:
+            with trace.span(f"experiment.{name}"):
+                result = run_experiment(name, **kwargs)
+        except BaseException as exc:
+            obs_events.emit(
+                "run.failed", experiment=name, run_id=ctx.run_id,
+                error_type=type(exc).__name__,
+                duration_s=round(time.perf_counter() - start, 3),
+            )
+            raise
+        finally:
+            duration = time.perf_counter() - start
+            spans = trace.finished_spans()[before:]
+            if not was_enabled:
+                trace.disable()
+        obs_events.emit(
+            "run.done", experiment=name, run_id=ctx.run_id,
+            duration_s=round(duration, 3),
+        )
+        # Flush the parent's own telemetry next to the workers' and
+        # merge everything into one Chrome trace + one Prometheus
+        # snapshot for the whole run.
+        obs_context.flush_main(spans, ctx=ctx)
+        merged = obs_agg.merge_run(run_dir)
     result_path = run_dir / f"{name}_result.json"
     atomic_write_text(
         result_path, json.dumps(result, indent=2, default=str) + "\n"
@@ -169,6 +195,7 @@ def run_with_manifest(name: str, run_dir, **kwargs) -> Tuple[Dict, Path]:
     manifest = {
         "manifest_version": MANIFEST_VERSION,
         "experiment": name,
+        "run_id": ctx.run_id,
         "started_unix": round(started_unix, 3),
         "duration_s": duration,
         "args": _scalar_args(kwargs),
@@ -184,6 +211,13 @@ def run_with_manifest(name: str, run_dir, **kwargs) -> Tuple[Dict, Path]:
         "cells": _cell_digest(spans, queue_dir=kwargs.get("queue_dir")),
         "spans": spans,
         "dropped_spans": trace.dropped_spans(),
+        "obs": {
+            "trace_file": merged["trace_path"].name,
+            "metrics_file": merged["metrics_path"].name,
+            "events_file": obs_events.EVENTS_FILENAME,
+            "merged_spans": merged["spans"],
+            "processes": merged["processes"],
+        },
     }
     manifest_path = run_dir / f"{name}_manifest.json"
     atomic_write_text(

@@ -88,7 +88,12 @@ def _read_json(path: Path):
 
 
 def _collect_queue(queue_root: Path) -> Optional[Dict]:
-    """One experiment's queue state: metadata plus per-job records."""
+    """One experiment's queue state: metadata plus per-job records.
+
+    Done jobs get their stored result attached (``record["result"]``) so
+    a partial run's report can synthesize accuracy-so-far tables without
+    waiting for ``<name>_result.json``.
+    """
     meta = _read_json(queue_root / "queue.json")
     jobs = []
     jobs_dir = queue_root / "jobs"
@@ -107,7 +112,72 @@ def _collect_queue(queue_root: Path) -> Optional[Dict]:
     for record in jobs:
         status = record.get("status", "unknown")
         counts[status] = counts.get(status, 0) + 1
+        if record.get("status") == "done" and record.get("job_id"):
+            stored = _read_json(
+                queue_root / "results" / f"{record['job_id']}.json"
+            )
+            if isinstance(stored, dict) and "result" in stored:
+                record["result"] = stored["result"]
     return {"meta": meta, "jobs": jobs, "counts": counts}
+
+
+def _collect_obs(run_dir: Path) -> Optional[Dict]:
+    """Cross-process telemetry for the run, when any of it exists.
+
+    Returns ``{"events": {counts, tail}, "timeline": [...],
+    "processes": [...]}`` built from ``events.jsonl`` and the merged
+    Chrome trace.  The timeline keeps one entry per ``*.cell`` span —
+    whichever process it ran in — ordered by start time.
+    """
+    from repro.obs import agg as obs_agg
+    from repro.obs import events as obs_events
+
+    events = obs_events.read_events(run_dir)
+    trace_doc = _read_json(Path(run_dir) / obs_agg.TRACE_MERGED)
+    if not events and trace_doc is None:
+        return None
+    counts: Dict[str, int] = {}
+    for record in events:
+        name = str(record.get("event", "?"))
+        counts[name] = counts.get(name, 0) + 1
+    timeline: List[Dict] = []
+    processes: List[str] = []
+    if isinstance(trace_doc, dict):
+        names: Dict[int, str] = {}
+        for entry in trace_doc.get("traceEvents") or []:
+            if entry.get("ph") == "M" and entry.get("name") == "process_name":
+                names[entry.get("pid")] = (entry.get("args") or {}).get(
+                    "name", str(entry.get("pid"))
+                )
+        processes = sorted(set(names.values()))
+        for entry in trace_doc.get("traceEvents") or []:
+            if entry.get("ph") != "X":
+                continue
+            if not str(entry.get("name", "")).endswith(".cell"):
+                continue
+            timeline.append(
+                {
+                    "span": entry.get("name"),
+                    "process": names.get(entry.get("pid"),
+                                         str(entry.get("pid"))),
+                    "start_s": entry.get("ts", 0) / 1e6,
+                    "wall_clock_s": entry.get("dur", 0) / 1e6,
+                    "attrs": {
+                        k: v for k, v in (entry.get("args") or {}).items()
+                        if k != "error"
+                    },
+                }
+            )
+        timeline.sort(key=lambda c: c["start_s"])
+        if timeline:
+            origin = timeline[0]["start_s"]
+            for cell in timeline:
+                cell["start_s"] = round(cell["start_s"] - origin, 6)
+    return {
+        "events": {"counts": counts, "tail": events[-12:]},
+        "timeline": timeline,
+        "processes": processes,
+    }
 
 
 def collect_run(run_dir) -> Dict:
@@ -138,7 +208,11 @@ def collect_run(run_dir) -> Dict:
             state = _collect_queue(queue_root)
             if state is not None:
                 entry(queue_root.name)["queue"] = state
-    return {"run_dir": str(run_dir), "experiments": experiments}
+    return {
+        "run_dir": str(run_dir),
+        "experiments": experiments,
+        "obs": _collect_obs(run_dir),
+    }
 
 
 # -- rendering --------------------------------------------------------------
@@ -252,6 +326,38 @@ def _timing_rows(manifest: Dict) -> List[List]:
     return rows
 
 
+def _partial_rows(state: Dict) -> List[Dict]:
+    """Accuracy-so-far rows recovered from a partial run's done cells."""
+    return [
+        record["result"]
+        for record in state["jobs"]
+        if record.get("status") == "done"
+        and isinstance(record.get("result"), dict)
+    ]
+
+
+def _timeline_rows(obs: Dict) -> List[List]:
+    rows = []
+    for cell in obs.get("timeline") or []:
+        attrs = cell.get("attrs") or {}
+        label = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        rows.append(
+            [
+                cell.get("span"),
+                label,
+                cell.get("process"),
+                cell.get("start_s"),
+                cell.get("wall_clock_s"),
+            ]
+        )
+    return rows
+
+
+def _event_count_rows(obs: Dict) -> List[List]:
+    counts = (obs.get("events") or {}).get("counts") or {}
+    return [[name, counts[name]] for name in sorted(counts)]
+
+
 def render_markdown(run: Dict) -> str:
     """The run report as GitHub-flavoured markdown."""
     lines = [f"# Run report — `{run['run_dir']}`", ""]
@@ -305,6 +411,33 @@ def render_markdown(run: Dict) -> str:
             for title, headers, body in _experiment_tables(name, result):
                 lines += ["", f"### {title}", ""]
                 lines += _md_table(headers, body)
+        elif state is not None:
+            partial = _partial_rows(state)
+            for title, headers, body in _experiment_tables(
+                name, {"rows": partial}
+            ):
+                lines += ["", f"### {title} — rows so far", ""]
+                lines += _md_table(headers, body)
+    obs = run.get("obs")
+    if obs:
+        lines += ["", "## Observability", ""]
+        processes = obs.get("processes") or []
+        if processes:
+            lines.append(
+                "Merged trace covers processes: "
+                + ", ".join(f"`{p}`" for p in processes) + "."
+            )
+        count_rows = _event_count_rows(obs)
+        if count_rows:
+            lines += ["", "### Run events", ""]
+            lines += _md_table(["Event", "Count"], count_rows)
+        timeline = _timeline_rows(obs)
+        if timeline:
+            lines += ["", "### Cell timeline (merged trace)", ""]
+            lines += _md_table(
+                ["Span", "Cell", "Process", "Start s", "Wall-clock s"],
+                timeline,
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -395,6 +528,38 @@ def render_html(run: Dict) -> str:
             for title, headers, body in _experiment_tables(name, result):
                 parts.append(f"<h3>{html.escape(title)}</h3>")
                 parts += _html_table(headers, body)
+        elif state is not None:
+            partial = _partial_rows(state)
+            for title, headers, body in _experiment_tables(
+                name, {"rows": partial}
+            ):
+                parts.append(
+                    f"<h3>{html.escape(title)} — rows so far</h3>"
+                )
+                parts += _html_table(headers, body)
+    obs = run.get("obs")
+    if obs:
+        parts.append("<h2>Observability</h2>")
+        processes = obs.get("processes") or []
+        if processes:
+            parts.append(
+                "<p>Merged trace covers processes: "
+                + ", ".join(
+                    f"<code>{html.escape(p)}</code>" for p in processes
+                )
+                + ".</p>"
+            )
+        count_rows = _event_count_rows(obs)
+        if count_rows:
+            parts.append("<h3>Run events</h3>")
+            parts += _html_table(["Event", "Count"], count_rows)
+        timeline = _timeline_rows(obs)
+        if timeline:
+            parts.append("<h3>Cell timeline (merged trace)</h3>")
+            parts += _html_table(
+                ["Span", "Cell", "Process", "Start s", "Wall-clock s"],
+                timeline,
+            )
     parts.append("</body></html>")
     return "\n".join(parts) + "\n"
 

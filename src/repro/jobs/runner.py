@@ -43,6 +43,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core.parallel import run_grid
 from repro.errors import JobError
 from repro.jobs.queue import DONE, FAILED, PENDING, JobQueue
+from repro.obs import events as obs_events
 from repro.obs import log as obs_log
 from repro.obs.trace import span
 
@@ -97,8 +98,10 @@ def _attempt_job(args):
     cell result on success or ``(error_type, message, traceback)`` on
     terminal failure.  Retrying inside the worker keeps the parent's
     ``imap`` streaming and makes the backoff local to the failing cell.
+    Each retry emits a ``cell.retry`` run event (the executing process
+    carries the run context, whether it is the parent or a pool worker).
     """
-    fn, payload, max_attempts, backoff_s = args
+    fn, payload, max_attempts, backoff_s, job_id = args
     start = time.perf_counter()
     failure = None
     for attempt in range(1, max_attempts + 1):
@@ -111,9 +114,25 @@ def _attempt_job(args):
                 str(exc),
                 traceback.format_exc(limit=20),
             )
-            if attempt < max_attempts and backoff_s > 0:
-                time.sleep(backoff_s * (2 ** (attempt - 1)))
+            if attempt < max_attempts:
+                obs_events.emit(
+                    "cell.retry",
+                    job_id=job_id,
+                    attempt=attempt,
+                    error_type=failure[0],
+                )
+                if backoff_s > 0:
+                    time.sleep(backoff_s * (2 ** (attempt - 1)))
     return False, failure, max_attempts, time.perf_counter() - start
+
+
+def _outcome_duration(outcome) -> float:
+    """The in-worker wall clock of an ``_attempt_job`` outcome tuple.
+
+    Feeds the grid's stall detector with true per-cell durations instead
+    of inter-completion gaps.
+    """
+    return outcome[3]
 
 
 class JobRunner:
@@ -172,30 +191,53 @@ class JobRunner:
             to_run=len(todo),
             deferred=skipped_cap,
         )
+        obs_events.emit(
+            "run.plan",
+            label=label,
+            total=len(job_payloads),
+            completed=done_already,
+            to_run=len(todo),
+            deferred=skipped_cap,
+        )
         if todo:
             # Mark the slice running *before* dispatch: a kill between
             # here and completion leaves honest "running" records that
             # the next invocation resets to pending.
+            previous_attempts = {}
             for job_id in todo:
                 record = self.queue.load(job_id)
+                previous_attempts[job_id] = record["attempts"]
                 self.queue.update(
                     job_id, status="running",
                     attempts=record["attempts"],
                 )
+                obs_events.emit(
+                    "cell.start", label=label, job_id=job_id,
+                    index=record.get("index"),
+                )
             args = [
-                (fn, job_payloads[job_id], self.max_attempts, self.backoff_s)
+                (fn, job_payloads[job_id], self.max_attempts, self.backoff_s,
+                 job_id)
                 for job_id in todo
             ]
-            with span(f"{label}.jobs", to_run=len(todo),
-                      completed=done_already):
-                outcomes = run_grid(
-                    _attempt_job, args, workers=self.workers, label=label
-                )
-            for job_id, (ok, value, attempts, duration) in zip(todo, outcomes):
-                previous = self.queue.load(job_id)["attempts"]
+            finished = 0
+
+            def _persist_outcome(index: int, outcome) -> None:
+                # Runs in the parent, in cell order, as each outcome
+                # streams out of the grid — a kill mid-grid keeps every
+                # cell completed so far, not just completed invocations.
+                nonlocal finished
+                job_id = todo[index]
+                ok, value, attempts, duration = outcome
+                total_attempts = previous_attempts[job_id] + attempts
                 if ok:
                     self.queue.mark_done(
-                        job_id, value, duration, previous + attempts
+                        job_id, value, duration, total_attempts
+                    )
+                    obs_events.emit(
+                        "cell.done", label=label, job_id=job_id,
+                        duration_s=round(duration, 4),
+                        attempts=total_attempts,
                     )
                 else:
                     error_type, message, trace = value
@@ -204,14 +246,35 @@ class JobRunner:
                         error=f"{message}\n{trace}",
                         error_type=error_type,
                         duration_s=duration,
-                        attempts=previous + attempts,
+                        attempts=total_attempts,
                     )
                     _log.warning(
                         f"{label}.job_failed",
                         job_id=job_id,
                         error_type=error_type,
-                        attempts=previous + attempts,
+                        attempts=total_attempts,
                     )
+                    obs_events.emit(
+                        "cell.failed", label=label, job_id=job_id,
+                        error_type=error_type,
+                        duration_s=round(duration, 4),
+                        attempts=total_attempts,
+                    )
+                finished += 1
+                obs_events.emit(
+                    "queue.depth", label=label,
+                    pending=len(todo) - finished,
+                    done=done_already + finished,
+                    total=len(job_payloads),
+                )
+
+            with span(f"{label}.jobs", to_run=len(todo),
+                      completed=done_already):
+                run_grid(
+                    _attempt_job, args, workers=self.workers, label=label,
+                    on_result=_persist_outcome,
+                    duration_of=_outcome_duration,
+                )
         counts = {status: 0 for status in (PENDING, "running", DONE, FAILED)}
         for record in self.queue.jobs():
             if record["job_id"] in job_payloads:

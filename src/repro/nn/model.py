@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import LayerError, TrainingError
+from repro.obs import events as obs_events
 from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
 from repro.obs import profile as obs_profile
@@ -626,6 +627,15 @@ class Sequential:
                     _log.log(
                         level, "train.epoch",
                         epoch=epoch + 1, epochs=epochs, **values,
+                    )
+                    # One liveness tick per epoch on the run event bus
+                    # (no-op outside a --run-dir run): the dashboard's
+                    # only signal that a long in-flight cell is alive.
+                    obs_events.emit(
+                        "fit.epoch",
+                        epoch=epoch + 1,
+                        epochs=epochs,
+                        **{key: float(val) for key, val in values.items()},
                     )
                     stop = False
                     for callback in callbacks:

@@ -4,7 +4,7 @@ Every subsystem — offline training (:mod:`repro.nn`), dataset
 generation and experiment grids (:mod:`repro.core.parallel`,
 :mod:`repro.experiments`), and the online serving stack
 (:mod:`repro.serve`) — reports through this one dependency-free layer
-instead of ad-hoc prints.  Four pillars:
+instead of ad-hoc prints.  Pillars:
 
 * :mod:`repro.obs.log` — structured JSON-lines logging with bound
   context and levels.  ``REPRO_LOG=json|text|off`` selects the console
@@ -21,6 +21,19 @@ instead of ad-hoc prints.  Four pillars:
   process-wide default registry is ``repro.obs.metrics.REGISTRY``; the
   serving stack renders its registry at
   ``GET /v1/metrics?format=prometheus``.
+* :mod:`repro.obs.context` + :mod:`repro.obs.agg` — cross-process
+  telemetry.  A :class:`~repro.obs.context.RunContext` rides into pool
+  workers, each process flushes its spans/metrics to per-pid sinks
+  under ``<run_dir>/obs/``, and :func:`~repro.obs.agg.merge_run`
+  deterministically collates them into one Chrome trace
+  (``trace_merged.json``) and one Prometheus snapshot
+  (``metrics_merged.prom``) per run.
+* :mod:`repro.obs.events` — the append-only per-run event bus
+  (``events.jsonl``): cell lifecycle, fit epoch ticks, queue depth,
+  stalls, SLO breaches.
+* :mod:`repro.obs.dashboard` — ``python -m repro.obs.dashboard
+  --run-dir DIR``: a live stdlib-HTTP sweep dashboard (plus ``--watch``
+  terminal mode) over any run directory, in-flight or killed.
 * :mod:`repro.obs.profile` — ``REPRO_PROFILE=1`` per-layer
   forward/backward timing inside ``Sequential.fit``, reported as a
   table at the end of training.
@@ -29,6 +42,9 @@ None of these touch any RNG stream: enabling every pillar leaves
 training bit-identical (``tests/test_obs_trace.py`` proves it).
 """
 
+from repro.obs.agg import merge_run
+from repro.obs.context import RunContext, current, run_context
+from repro.obs.events import emit, event_counts, read_events
 from repro.obs.log import Logger, configure, get_logger
 from repro.obs.metrics import (
     REGISTRY,
@@ -46,7 +62,14 @@ __all__ = [
     "Logger",
     "MetricsRegistry",
     "REGISTRY",
+    "RunContext",
     "configure",
+    "current",
+    "emit",
+    "event_counts",
     "get_logger",
+    "merge_run",
+    "read_events",
+    "run_context",
     "span",
 ]

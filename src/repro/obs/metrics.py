@@ -245,6 +245,50 @@ class MetricsRegistry:
         with self._lock:
             return [self._series[key] for key in sorted(self._series)]
 
+    def reset(self) -> None:
+        """Drop every registered series, in place.
+
+        Used by pool workers after a fork: the child inherits a copy of
+        the parent's registry, and clearing it (rather than rebinding
+        the module global) keeps every ``from ... import REGISTRY``
+        alias valid while guaranteeing the worker's flushed snapshot
+        counts only its own work.
+        """
+        with self._lock:
+            self._series.clear()
+            self._types.clear()
+
+    def dump(self) -> dict:
+        """A full-fidelity, mergeable view of every series.
+
+        Unlike :meth:`snapshot` (a human-oriented summary), this keeps
+        histogram bucket counts keyed by their upper bounds so that
+        per-worker dumps can be summed into one run-level registry by
+        :mod:`repro.obs.agg`.  Sliding-window quantiles are process-local
+        and deliberately omitted — they cannot be merged.
+        """
+        series = []
+        for metric in self.series():
+            entry: dict = {
+                "name": metric.name,
+                "kind": self._types[metric.name],
+                "labels": dict(metric.labels),
+            }
+            if isinstance(metric, Counter):
+                entry["value"] = metric.value
+            elif isinstance(metric, Gauge):
+                entry["value"] = metric.value
+                entry["max"] = metric.max
+            else:
+                entry["count"] = metric.count
+                entry["sum"] = metric.sum
+                entry["buckets"] = {
+                    _format_number(upper): count
+                    for upper, count in metric.bucket_counts().items()
+                }
+            series.append(entry)
+        return {"series": series}
+
     def snapshot(self) -> dict:
         """A JSON-able ``{name: [{labels, ...stats}]}`` view."""
         out: Dict[str, list] = {}

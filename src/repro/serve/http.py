@@ -2,7 +2,9 @@
 
 Endpoints (all JSON in / JSON out):
 
-* ``GET  /healthz``        — liveness: model count, uptime.
+* ``GET  /healthz``        — liveness: model count, uptime, rolling
+  SLO verdict (``?verbose=1`` attaches the full error-rate/p99
+  evaluation; breaches log ``serve.slo_breach`` events).
 * ``GET  /v1/models``      — registry listing (manifest summaries).
 * ``GET  /v1/metrics``     — the shared :class:`ServeMetrics` snapshot;
   ``?format=prometheus`` renders the backing
@@ -45,10 +47,14 @@ from repro.errors import (
     ServeError,
     ServeTimeout,
 )
+from repro.obs import events as obs_events
+from repro.obs import log as obs_log
 from repro.serve.engine import MicroBatchEngine
-from repro.serve.metrics import ServeMetrics
+from repro.serve.metrics import ServeMetrics, SloPolicy
 from repro.serve.registry import ModelRecord, ModelRegistry
 from repro.serve.sessions import SessionStore
+
+_log = obs_log.get_logger("repro.serve")
 
 #: Reject request bodies larger than this (64 MiB ~ 2^17 float rows).
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -120,13 +126,40 @@ class ServeService:
 
     # -- endpoint bodies ---------------------------------------------------
 
-    def healthz(self) -> dict:
-        return {
-            "status": "ok",
+    def healthz(self, verbose: bool = False) -> dict:
+        """Liveness plus rolling-window SLO verdict.
+
+        The SLO (error rate and p99 latency over the recent HTTP
+        window, thresholds from ``REPRO_OBS_SLO_*``) is evaluated on
+        every call; a breach degrades the reported status and emits a
+        ``serve.slo_breach`` structured log line + run event.  The full
+        verdict is attached only with ``?verbose=1``.
+        """
+        slo = SloPolicy.from_env().evaluate(self.metrics)
+        if slo["status"] == "breached":
+            _log.warning(
+                "serve.slo_breach",
+                breaches=",".join(slo["breaches"]),
+                error_rate=round(slo["error_rate"], 4),
+                p99_ms=round(slo["p99_ms"], 2),
+                samples=slo["samples"],
+            )
+            obs_events.emit(
+                "serve.slo_breach",
+                breaches=slo["breaches"],
+                error_rate=round(slo["error_rate"], 6),
+                p99_ms=round(slo["p99_ms"], 3),
+                samples=slo["samples"],
+            )
+        payload = {
+            "status": "degraded" if slo["status"] == "breached" else "ok",
             "models": len(self.registry.list()),
             "sessions": len(self.sessions),
             "uptime_s": time.monotonic() - self._started,
         }
+        if verbose:
+            payload["slo"] = slo
+        return payload
 
     def list_models(self) -> dict:
         return {"models": [record.summary() for record in self.registry.list()]}
@@ -277,16 +310,22 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _record(self, method: str, route: str, started: float) -> None:
         """Per-route request counter + latency histogram (obs registry)."""
+        latency_s = time.perf_counter() - started
+        status = getattr(self, "_status", 500)
         registry = self.service.metrics.registry
         registry.counter(
             "repro_http_requests_total",
             method=method,
             route=route,
-            status=str(getattr(self, "_status", 500)),
+            status=str(status),
         ).inc()
         registry.histogram(
             "repro_http_request_duration_seconds", route=route
-        ).observe(time.perf_counter() - started)
+        ).observe(latency_s)
+        if route != "/healthz":
+            # Health polling must not dilute (or constitute) the SLO
+            # window it is reporting on.
+            self.service.metrics.record_http(status, latency_s)
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         started = time.perf_counter()
@@ -294,7 +333,11 @@ class _Handler(BaseHTTPRequestHandler):
         route = parts.path if parts.path in KNOWN_ROUTES else "other"
         try:
             if parts.path == "/healthz":
-                self._send_json(200, self.service.healthz())
+                query = parse_qs(parts.query)
+                verbose = query.get("verbose", ["0"])[-1] in (
+                    "1", "true", "yes"
+                )
+                self._send_json(200, self.service.healthz(verbose=verbose))
             elif parts.path == "/v1/models":
                 self._send_json(200, self.service.list_models())
             elif parts.path == "/v1/metrics":

@@ -20,12 +20,24 @@ percentiles always reflect recent behaviour.
 from __future__ import annotations
 
 import math
+import os
 import threading
 import time
-from typing import Dict, List, Optional, Sequence
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServeError
 from repro.obs.metrics import MetricsRegistry
+
+#: Rolling (status, latency) window for SLO evaluation: big enough for a
+#: stable p99, small enough that a recovered server stops reporting a
+#: breach within a few hundred requests.
+HTTP_WINDOW = 512
+
+#: SLO defaults, each overridable by a ``REPRO_OBS_SLO_*`` knob.
+DEFAULT_SLO_ERROR_RATE = 0.05
+DEFAULT_SLO_P99_MS = 250.0
+DEFAULT_SLO_MIN_SAMPLES = 20
 
 #: Batch-size histogram buckets: power-of-two ceilings, matching the
 #: original implementation's bucketing rule (3 rows -> bucket 4).
@@ -84,6 +96,10 @@ class ServeMetrics:
         # Scalars with no Prometheus analogue (the JSON keeps them).
         self._batch_max = 0
         self._queue_depth_sum = 0
+        # Rolling (status, latency_s) pairs from the HTTP front-end,
+        # consumed by SLO evaluation; bounded so a long-lived server's
+        # verdict tracks recent behaviour, not its whole lifetime.
+        self._http_window: deque = deque(maxlen=HTTP_WINDOW)
 
     # -- recording ---------------------------------------------------------
 
@@ -112,6 +128,16 @@ class ServeMetrics:
     def record_timeout(self) -> None:
         """A request whose deadline expired before it could be answered."""
         self._timeouts.inc()
+
+    def record_http(self, status: int, latency_s: float) -> None:
+        """One HTTP response (any route) for the SLO rolling window."""
+        with self._lock:
+            self._http_window.append((int(status), float(latency_s)))
+
+    def http_window(self) -> List[Tuple[int, float]]:
+        """The retained (status, latency_s) pairs, oldest first."""
+        with self._lock:
+            return list(self._http_window)
 
     def record_rejection(self) -> None:
         """A request shed by queue-depth backpressure."""
@@ -172,3 +198,110 @@ class ServeMetrics:
     def request_latencies(self) -> List[float]:
         """The retained per-request latency window (seconds), oldest first."""
         return self._request_latency.window_values()
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "")
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ServeError(f"{name} must be a float, got {raw!r}") from None
+    if value <= 0:
+        raise ServeError(f"{name} must be positive, got {value}")
+    return value
+
+
+def _env_samples(name: str, default: int) -> int:
+    raw = os.environ.get(name, "")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ServeError(f"{name} must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise ServeError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+class SloPolicy:
+    """Rolling-window SLO thresholds for the serving front-end.
+
+    Two objectives over the last :data:`HTTP_WINDOW` responses (the
+    ``/healthz`` route itself excluded, so health polling cannot mask or
+    cause a breach):
+
+    * **availability** — the fraction of 5xx responses must stay at or
+      below ``error_rate``;
+    * **latency** — the p99 response time must stay at or below
+      ``p99_ms`` milliseconds.
+
+    With fewer than ``min_samples`` responses in the window the verdict
+    is ``"unknown"``: an idle server is neither healthy nor breached,
+    and twenty quiet seconds after a deploy should not page anyone.
+    """
+
+    def __init__(
+        self,
+        error_rate: float = DEFAULT_SLO_ERROR_RATE,
+        p99_ms: float = DEFAULT_SLO_P99_MS,
+        min_samples: int = DEFAULT_SLO_MIN_SAMPLES,
+    ):
+        if not 0 < error_rate <= 1:
+            raise ServeError(
+                f"SLO error rate must be in (0, 1], got {error_rate}"
+            )
+        if p99_ms <= 0:
+            raise ServeError(f"SLO p99 must be positive, got {p99_ms}")
+        if min_samples < 1:
+            raise ServeError(
+                f"SLO min samples must be >= 1, got {min_samples}"
+            )
+        self.error_rate = float(error_rate)
+        self.p99_ms = float(p99_ms)
+        self.min_samples = int(min_samples)
+
+    @classmethod
+    def from_env(cls) -> "SloPolicy":
+        """Thresholds from ``REPRO_OBS_SLO_*`` knobs (see EXPERIMENTS.md)."""
+        return cls(
+            error_rate=_env_float(
+                "REPRO_OBS_SLO_ERROR_RATE", DEFAULT_SLO_ERROR_RATE
+            ),
+            p99_ms=_env_float("REPRO_OBS_SLO_P99_MS", DEFAULT_SLO_P99_MS),
+            min_samples=_env_samples(
+                "REPRO_OBS_SLO_MIN_SAMPLES", DEFAULT_SLO_MIN_SAMPLES
+            ),
+        )
+
+    def evaluate(self, metrics: ServeMetrics) -> Dict:
+        """The SLO verdict over the metrics' rolling HTTP window."""
+        window = metrics.http_window()
+        samples = len(window)
+        verdict: Dict = {
+            "samples": samples,
+            "thresholds": {
+                "error_rate": self.error_rate,
+                "p99_ms": self.p99_ms,
+                "min_samples": self.min_samples,
+            },
+        }
+        if samples < self.min_samples:
+            verdict["status"] = "unknown"
+            verdict["breaches"] = []
+            return verdict
+        errors = sum(1 for status, _ in window if status >= 500)
+        error_rate = errors / samples
+        p99_ms = 1e3 * percentile([lat for _, lat in window], 99.0)
+        breaches = []
+        if error_rate > self.error_rate:
+            breaches.append("error_rate")
+        if p99_ms > self.p99_ms:
+            breaches.append("p99_latency")
+        verdict["error_rate"] = error_rate
+        verdict["p99_ms"] = p99_ms
+        verdict["breaches"] = breaches
+        verdict["status"] = "breached" if breaches else "ok"
+        return verdict

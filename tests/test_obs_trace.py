@@ -164,7 +164,9 @@ class TestManifest:
         )
         manifest = json.loads(manifest_path.read_text())
         assert manifest["experiment"] == "complexity"
-        assert manifest["manifest_version"] == 2
+        assert manifest["manifest_version"] == 3
+        assert manifest["run_id"]
+        assert manifest["obs"]["trace_file"] == "trace_merged.json"
         assert manifest["duration_s"] > 0.0
         names = [s["name"] for s in manifest["spans"]]
         assert "experiment.complexity" in names
